@@ -1,0 +1,96 @@
+// Command ufabsim runs the μFAB paper-reproduction experiments and prints
+// the rows/series each table and figure of the evaluation reports.
+//
+// Usage:
+//
+//	ufabsim list                 # list experiment ids
+//	ufabsim run all              # run everything at full scale
+//	ufabsim run fig11 fig12      # run selected experiments
+//	ufabsim -quick run all       # scaled-down runs (the bench settings)
+//	ufabsim -seed 7 run fig4     # change the deterministic seed
+//	ufabsim tables               # just the resource-model tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ufab/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down experiments (bench scale)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	csvDir := flag.String("csv", "", "directory to export figure curves as CSV")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	exportCSV = *csvDir
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "tables":
+		run(opts, "tab3", "tab4")
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+			ids = nil
+			for _, e := range experiments.All {
+				ids = append(ids, e.ID)
+			}
+		}
+		run(opts, ids...)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+var exportCSV string
+
+func run(opts experiments.Options, ids ...string) {
+	for _, id := range ids {
+		e := experiments.Find(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'ufabsim list')\n", id)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		rep := e.Run(opts)
+		fmt.Print(rep.String())
+		if exportCSV != "" && len(rep.Series) > 0 {
+			if err := os.MkdirAll(exportCSV, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := rep.WriteCSV(exportCSV); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("-- %d curves exported to %s --\n", len(rep.Series), exportCSV)
+		}
+		fmt.Printf("-- wall time %.1fs --\n\n", time.Since(t0).Seconds())
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ufabsim — uFAB (SIGCOMM'22) reproduction harness
+
+usage:
+  ufabsim [flags] list
+  ufabsim [flags] run all | <id>...
+  ufabsim [flags] tables
+
+flags:
+`)
+	flag.PrintDefaults()
+}

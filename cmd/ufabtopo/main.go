@@ -1,0 +1,135 @@
+// Command ufabtopo inspects the repository's topology builders: it prints
+// node/link inventories, enumerates equal-cost paths between hosts, and
+// exports Graphviz DOT for visualization.
+//
+//	ufabtopo testbed                  # summary of the Fig-10 testbed
+//	ufabtopo fattree -k 4 -dot        # DOT on stdout
+//	ufabtopo clos -cores 16 -paths 0 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ufab/internal/sim"
+	"ufab/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
+	k := fs.Int("k", 4, "fat-tree arity (fattree)")
+	cores := fs.Int("cores", 16, "core switches (clos)")
+	aggs := fs.Int("aggs", 3, "aggregation switches (twotier)")
+	hosts := fs.Int("hosts", 4, "hosts per side/ToR (twotier, star)")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+	var pathPair [2]int
+	fs.IntVar(&pathPair[0], "src", -1, "host index: enumerate paths from")
+	fs.IntVar(&pathPair[1], "dst", -1, "host index: enumerate paths to")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	var g *topo.Graph
+	switch os.Args[1] {
+	case "testbed":
+		g = topo.NewTestbed(topo.TestbedConfig{}).Graph
+	case "fattree":
+		g = topo.FatTree(*k, topo.Gbps(10), sim.Microsecond).Graph
+	case "clos":
+		g = topo.NewClos(topo.Paper512(*cores)).Graph
+	case "twotier":
+		g = topo.NewTwoTier(*aggs, *hosts, topo.Gbps(10), sim.Microsecond).Graph
+	case "star":
+		g = topo.NewStar(*hosts, topo.Gbps(10), sim.Microsecond).Graph
+	default:
+		usage()
+		os.Exit(2)
+	}
+
+	if *dot {
+		emitDOT(g)
+		return
+	}
+	summarize(g)
+	if pathPair[0] >= 0 && pathPair[1] >= 0 {
+		listPaths(g, pathPair[0], pathPair[1])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ufabtopo <testbed|fattree|clos|twotier|star> [flags]
+flags: -k N | -cores N | -aggs N | -hosts N | -dot | -src I -dst J`)
+}
+
+func summarize(g *topo.Graph) {
+	hosts, switches := 0, 0
+	for _, n := range g.Nodes {
+		if n.Kind == topo.Host {
+			hosts++
+		} else {
+			switches++
+		}
+	}
+	fmt.Printf("nodes: %d hosts, %d switches; links: %d (duplex pairs: %d)\n",
+		hosts, switches, len(g.Links), len(g.Links)/2)
+	if err := g.Validate(); err != nil {
+		fmt.Printf("VALIDATE FAILED: %v\n", err)
+		return
+	}
+	hs := g.Hosts()
+	if len(hs) >= 2 {
+		p := g.Paths(hs[0], hs[len(hs)-1], 0)
+		fmt.Printf("equal-cost paths %s→%s: %d (length %d links)\n",
+			g.Node(hs[0]).Name, g.Node(hs[len(hs)-1]).Name, len(p), pathLen(p))
+		fmt.Printf("diameter baseRTT (1500B MTU): %v\n", g.Diameter(1500))
+	}
+}
+
+func pathLen(p []topo.Path) int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p[0])
+}
+
+func listPaths(g *topo.Graph, srcIdx, dstIdx int) {
+	hs := g.Hosts()
+	if srcIdx >= len(hs) || dstIdx >= len(hs) {
+		fmt.Fprintf(os.Stderr, "host index out of range (have %d hosts)\n", len(hs))
+		os.Exit(1)
+	}
+	src, dst := hs[srcIdx], hs[dstIdx]
+	paths := g.Paths(src, dst, 0)
+	fmt.Printf("%d equal-cost paths %s → %s:\n", len(paths), g.Node(src).Name, g.Node(dst).Name)
+	for i, p := range paths {
+		fmt.Printf("  [%d]", i)
+		fmt.Printf(" %s", g.Node(g.PathSrc(p)).Name)
+		for _, lid := range p {
+			fmt.Printf(" → %s", g.Node(g.Link(lid).Dst).Name)
+		}
+		fmt.Printf("   (baseRTT %v)\n", g.BaseRTT(p, 1500))
+	}
+}
+
+func emitDOT(g *topo.Graph) {
+	fmt.Println("graph fabric {")
+	fmt.Println("  rankdir=BT;")
+	for _, n := range g.Nodes {
+		shape := "box"
+		if n.Kind == topo.Host {
+			shape = "ellipse"
+		}
+		fmt.Printf("  n%d [label=%q shape=%s];\n", n.ID, n.Name, shape)
+	}
+	for _, l := range g.Links {
+		if l.ID < l.Reverse { // one edge per duplex pair
+			fmt.Printf("  n%d -- n%d [label=\"%.0fG\"];\n", l.Src, l.Dst, l.Capacity/1e9)
+		}
+	}
+	fmt.Println("}")
+}

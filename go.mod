@@ -1,0 +1,3 @@
+module ufab
+
+go 1.22

@@ -1,0 +1,93 @@
+package clove
+
+import (
+	"testing"
+
+	"ufab/internal/sim"
+)
+
+func gap() Config { return Config{FlowletGap: 200 * sim.Microsecond, Seed: 1} }
+
+func TestSameFlowletSticksToPath(t *testing.T) {
+	s := New(3, gap())
+	s.SetUtil(0, 0.9)
+	s.SetUtil(1, 0.1)
+	s.SetUtil(2, 0.5)
+	first := s.Pick(0)
+	if first != 1 {
+		t.Fatalf("first pick = %d, want least-utilized 1", first)
+	}
+	// Packets inside the gap stay on the same path even if utilization
+	// flips.
+	s.SetUtil(1, 1.0)
+	for i := 1; i <= 5; i++ {
+		if p := s.Pick(sim.Time(i) * 10 * sim.Microsecond); p != first {
+			t.Fatalf("mid-flowlet repick to %d", p)
+		}
+	}
+}
+
+func TestNewFlowletRepicks(t *testing.T) {
+	s := New(2, gap())
+	s.SetUtil(0, 0.2)
+	s.SetUtil(1, 0.8)
+	if p := s.Pick(0); p != 0 {
+		t.Fatalf("pick = %d", p)
+	}
+	// Idle beyond the gap, with utilization inverted: new flowlet moves.
+	s.SetUtil(0, 0.9)
+	s.SetUtil(1, 0.1)
+	if p := s.Pick(500 * sim.Microsecond); p != 1 {
+		t.Fatalf("new flowlet pick = %d, want 1", p)
+	}
+	if s.Repicks == 0 {
+		t.Error("Repicks not counted")
+	}
+}
+
+func TestUnknownUtilizationRandom(t *testing.T) {
+	s := New(4, gap())
+	p := s.Pick(0)
+	if p < 0 || p >= 4 {
+		t.Fatalf("pick out of range: %d", p)
+	}
+}
+
+func TestUtilAccessors(t *testing.T) {
+	s := New(2, gap())
+	s.SetUtil(1, 0.42)
+	if s.Util(1) != 0.42 {
+		t.Fatalf("Util = %v", s.Util(1))
+	}
+	if s.Current() < 0 || s.Current() > 1 {
+		t.Fatalf("Current = %d", s.Current())
+	}
+}
+
+func TestNewPanicsOnZeroPaths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, gap())
+}
+
+func TestOscillationUnderSmallGap(t *testing.T) {
+	// With a tiny flowlet gap and utilization feedback that flips after
+	// each migration (the Fig 5c pathology), Clove keeps bouncing.
+	s := New(2, Config{FlowletGap: 1 * sim.Microsecond, Seed: 2})
+	s.SetUtil(0, 0.5)
+	s.SetUtil(1, 0.5)
+	now := sim.Time(0)
+	for i := 0; i < 50; i++ {
+		now += 10 * sim.Microsecond // always beyond the gap
+		p := s.Pick(now)
+		// The chosen path becomes hot, the other cools down.
+		s.SetUtil(p, 1.0)
+		s.SetUtil(1-p, 0.1)
+	}
+	if s.Repicks < 40 {
+		t.Fatalf("Repicks = %d, expected persistent oscillation", s.Repicks)
+	}
+}

@@ -1,0 +1,630 @@
+// Package host wires the baseline schemes onto the simulated dataplane:
+// one Agent per host plays the role μFAB-E plays for μFAB, but drives
+// either PicNIC′+WCC+Clove (PWC) or ElasticSwitch+Clove (§5.1
+// "Alternatives"). Both use Clove's utilization-oriented flowlet load
+// balancing fed by explicit path-utilization probes; PWC adds sender WFQ,
+// receiver-driven admission grants and the Swift-based weighted window;
+// ES+Clove paces each VM-pair at the ElasticSwitch RA rate (never below
+// its guarantee) with ECN feedback.
+package host
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ufab/internal/baseline/clove"
+	"ufab/internal/baseline/elasticswitch"
+	"ufab/internal/baseline/picnic"
+	"ufab/internal/baseline/wcc"
+	"ufab/internal/dataplane"
+	"ufab/internal/flowsrc"
+	"ufab/internal/probe"
+	"ufab/internal/sim"
+	"ufab/internal/stats"
+	"ufab/internal/topo"
+)
+
+// Scheme selects the baseline combination an Agent runs.
+type Scheme uint8
+
+// The two baseline combinations of the evaluation.
+const (
+	// PWC is PicNIC′ + WCC + Clove.
+	PWC Scheme = iota
+	// ESClove is ElasticSwitch + Clove.
+	ESClove
+)
+
+func (s Scheme) String() string {
+	if s == PWC {
+		return "PicNIC'+WCC+Clove"
+	}
+	return "ES+Clove"
+}
+
+// Config parameterizes a baseline host agent.
+type Config struct {
+	Scheme Scheme
+	// BU converts tokens to bandwidth, bits/s (default 100 Mbps).
+	BU float64
+	// MTU and AckSize are packet sizes in bytes (1500 / 64).
+	MTU, AckSize int
+	// TargetUtilization bounds receiver admission (default 0.95).
+	TargetUtilization float64
+	// WCC configures the PWC transport; its TargetDelay defaults to
+	// 1.5× the first path's baseRTT per flow when zero.
+	WCC wcc.Config
+	// ES configures the ES+Clove rate allocator; MaxRateBps defaults to
+	// the uplink capacity.
+	ES elasticswitch.Config
+	// CloveGap is the flowlet gap (default 200 μs; Fig 5 also uses 36 μs).
+	CloveGap sim.Duration
+	// UtilProbeInterval is how often active flows refresh per-path
+	// utilization for Clove (default 100 μs).
+	UtilProbeInterval sim.Duration
+	// AdmissionWindow is the PicNIC′ receiver measurement window
+	// (default 100 μs).
+	AdmissionWindow sim.Duration
+	// RTORTTs is the loss-recovery timeout in baseRTTs (default 16).
+	RTORTTs int
+	// Seed drives Clove tie-breaking.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.BU == 0 {
+		c.BU = 100e6
+	}
+	if c.MTU == 0 {
+		c.MTU = 1500
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 64
+	}
+	if c.TargetUtilization == 0 {
+		c.TargetUtilization = 0.95
+	}
+	if c.CloveGap == 0 {
+		c.CloveGap = 200 * sim.Microsecond
+	}
+	if c.UtilProbeInterval == 0 {
+		c.UtilProbeInterval = 100 * sim.Microsecond
+	}
+	if c.AdmissionWindow == 0 {
+		c.AdmissionWindow = 100 * sim.Microsecond
+	}
+	if c.RTORTTs == 0 {
+		c.RTORTTs = 16
+	}
+}
+
+// FlowConfig describes a VM-pair for AddFlow.
+type FlowConfig struct {
+	ID dataplane.VMPair
+	VF int32
+	// Weight is the pair's bandwidth tokens; guarantee = Weight·BU.
+	Weight float64
+	Dst    topo.NodeID
+	Routes []topo.Path
+	Demand flowsrc.Source
+}
+
+// Flow is the sender-side state of one baseline VM-pair.
+type Flow struct {
+	ID     dataplane.VMPair
+	VF     int32
+	Weight float64
+	Dst    topo.NodeID
+
+	agent   *Agent
+	routes  []topo.Path
+	baseRTT []sim.Duration
+	lb      *clove.State
+
+	demand flowsrc.Source
+
+	// PWC state.
+	wf    *wcc.Flow
+	grant float64 // receiver-driven rate cap, bits/s; 0 = uncapped
+
+	// ES state.
+	ra *elasticswitch.RA
+
+	inflight int64
+	paceNext sim.Time
+	seq      uint64
+
+	vservice float64 // WFQ virtual service (normalized bytes)
+
+	lastProgress sim.Time
+	rtoArmed     bool
+
+	// Measurements (mirroring ufabe.Pair).
+	Delivered int64
+	SentBytes int64
+	RTT       stats.Samples
+	Losses    int
+}
+
+// Guarantee returns the flow's minimum-bandwidth guarantee in bits/s.
+func (fl *Flow) Guarantee() float64 { return fl.Weight * fl.agent.cfg.BU }
+
+// CurrentPath returns the index of the flowlet's current path.
+func (fl *Flow) CurrentPath() int { return fl.lb.Current() }
+
+// Rate returns the transport's current rate view in bits/s: the RA rate
+// for ES, cwnd/baseRTT for PWC.
+func (fl *Flow) Rate() float64 {
+	if fl.agent.cfg.Scheme == ESClove {
+		return fl.ra.Rate
+	}
+	return fl.wf.Cwnd * 8 / fl.baseRTT[fl.lb.Current()].Seconds()
+}
+
+type ackMeta struct {
+	bytes  int
+	sentAt sim.Time
+	ecn    bool
+	grant  float64
+}
+
+type dataMeta struct {
+	weight float64
+}
+
+type recvState struct {
+	weight float64
+	bytes  int64
+	grant  float64
+}
+
+// Agent is a per-host baseline agent; it implements dataplane.Handler.
+type Agent struct {
+	eng   *sim.Engine
+	net   *dataplane.Network
+	graph *topo.Graph
+	host  topo.NodeID
+	cfg   Config
+	rng   *rand.Rand
+
+	flows map[dataplane.VMPair]*Flow
+	order []*Flow
+
+	nicNextFree sim.Time
+	sendTimer   sim.Handle
+	timerActive bool
+	wakeAt      sim.Time
+	uplinkCap   float64
+
+	recv map[dataplane.VMPair]*recvState
+
+	// OnReceive observes data arriving at this host (application hook).
+	OnReceive func(vm dataplane.VMPair, bytes int, now sim.Time)
+}
+
+// New creates a baseline agent on a host and installs it as the host's
+// handler. Receiver-side admission (PWC) starts immediately.
+func New(eng *sim.Engine, net *dataplane.Network, hostID topo.NodeID, cfg Config) *Agent {
+	cfg.setDefaults()
+	g := net.G
+	if g.Node(hostID).Kind != topo.Host {
+		panic(fmt.Sprintf("baseline/host: node %d is not a host", hostID))
+	}
+	a := &Agent{
+		eng:       eng,
+		net:       net,
+		graph:     g,
+		host:      hostID,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed + int64(hostID)*0x7f4a7c15)),
+		flows:     make(map[dataplane.VMPair]*Flow),
+		recv:      make(map[dataplane.VMPair]*recvState),
+		uplinkCap: g.Link(g.Node(hostID).Out[0]).Capacity,
+	}
+	net.SetHandler(hostID, a)
+	if cfg.Scheme == PWC {
+		eng.Every(cfg.AdmissionWindow, a.admissionUpdate)
+	}
+	return a
+}
+
+// Flow returns a sender-side flow by id, or nil.
+func (a *Agent) Flow(id dataplane.VMPair) *Flow { return a.flows[id] }
+
+// AddFlow registers a VM-pair and starts its utilization probing.
+func (a *Agent) AddFlow(fc FlowConfig) *Flow {
+	if len(fc.Routes) == 0 {
+		panic("baseline/host: AddFlow without routes")
+	}
+	fl := &Flow{
+		ID:     fc.ID,
+		VF:     fc.VF,
+		Weight: fc.Weight,
+		Dst:    fc.Dst,
+		agent:  a,
+		routes: fc.Routes,
+		demand: fc.Demand,
+		lb: clove.New(len(fc.Routes), clove.Config{
+			FlowletGap: a.cfg.CloveGap,
+			Seed:       a.cfg.Seed + int64(fc.ID),
+		}),
+	}
+	for _, r := range fc.Routes {
+		fl.baseRTT = append(fl.baseRTT, a.graph.BaseRTT(r, a.cfg.MTU))
+	}
+	switch a.cfg.Scheme {
+	case PWC:
+		wcfg := a.cfg.WCC
+		if wcfg.TargetDelay == 0 {
+			wcfg = wcc.Defaults(fl.baseRTT[0] * 3 / 2)
+		}
+		// Greedy initial window: one path BDP — the burst behavior
+		// Case-1 (Fig 4) attributes to guarantee-agnostic transports.
+		bdp := a.graph.MinCapacity(fc.Routes[0]) * fl.baseRTT[0].Seconds() / 8
+		fl.wf = wcc.NewFlow(wcfg, fc.Weight, bdp)
+	case ESClove:
+		ecfg := a.cfg.ES
+		if ecfg.MaxRateBps == 0 {
+			ecfg = elasticswitch.Defaults(a.uplinkCap)
+		}
+		fl.ra = elasticswitch.New(ecfg, fl.Guarantee())
+	}
+	a.flows[fc.ID] = fl
+	a.order = append(a.order, fl)
+	if k, ok := fc.Demand.(flowsrc.Kicker); ok {
+		k.SetKick(func() { a.scheduleSend() })
+	}
+	// Clove's explicit utilization feedback loop.
+	a.eng.Every(a.cfg.UtilProbeInterval, func() { a.probeUtil(fl) })
+	a.probeUtil(fl)
+	a.scheduleSend()
+	return fl
+}
+
+// probeUtil sends one utilization probe per candidate path for an active
+// flow (Clove-INT style feedback).
+func (a *Agent) probeUtil(fl *Flow) {
+	if fl.demand.Pending() == 0 && fl.inflight == 0 {
+		return
+	}
+	for i, route := range fl.routes {
+		pp := &probe.Packet{
+			Kind:   probe.KindProbe,
+			VMPair: uint32(fl.ID),
+			PathID: uint16(i),
+			SentAt: int64(a.eng.Now()),
+		}
+		buf, err := pp.Encode(nil)
+		if err != nil {
+			continue
+		}
+		a.net.Send(&dataplane.Packet{
+			Kind:    dataplane.Probe,
+			VMPair:  fl.ID,
+			Tenant:  fl.VF,
+			Size:    probe.WireSize(0),
+			Route:   route,
+			SentAt:  a.eng.Now(),
+			Payload: buf,
+		})
+	}
+}
+
+// ---- Sending ---------------------------------------------------------------
+
+// wakeup (re)arms the single send timer to fire no later than at. Exactly
+// one timer is ever outstanding; an earlier request cancels and replaces a
+// later one.
+func (a *Agent) wakeup(at sim.Time) {
+	if now := a.eng.Now(); at < now {
+		at = now
+	}
+	if a.timerActive {
+		if a.wakeAt <= at {
+			return
+		}
+		a.eng.Cancel(a.sendTimer)
+	}
+	a.timerActive = true
+	a.wakeAt = at
+	a.sendTimer = a.eng.At(at, func() {
+		a.timerActive = false
+		a.trySend()
+	})
+}
+
+func (a *Agent) scheduleSend() { a.wakeup(a.nicNextFree) }
+
+func (fl *Flow) eligible(now sim.Time) bool {
+	if fl.demand.Pending() <= 0 {
+		return false
+	}
+	switch fl.agent.cfg.Scheme {
+	case PWC:
+		if fl.inflight >= int64(fl.wf.Cwnd) {
+			return false
+		}
+		return now >= fl.paceNext // receiver grant pacing
+	default: // ESClove: pure rate pacing
+		return now >= fl.paceNext
+	}
+}
+
+// nextEligible picks the eligible flow with the least normalized WFQ
+// service (sender-side weighted fair queueing, PicNIC′'s envelope; ES
+// flows are rate-paced so the pick order hardly matters).
+func (a *Agent) nextEligible(now sim.Time) *Flow {
+	var best *Flow
+	for _, fl := range a.order {
+		if !fl.eligible(now) {
+			continue
+		}
+		if best == nil || fl.vservice < best.vservice {
+			best = fl
+		}
+	}
+	return best
+}
+
+func (a *Agent) trySend() {
+	now := a.eng.Now()
+	if now < a.nicNextFree {
+		a.scheduleSend()
+		return
+	}
+	fl := a.nextEligible(now)
+	if fl == nil {
+		// Wake when the earliest paced flow becomes ready.
+		var wake sim.Time = -1
+		for _, f := range a.order {
+			if f.demand.Pending() > 0 && f.paceNext > now {
+				if wake < 0 || f.paceNext < wake {
+					wake = f.paceNext
+				}
+			}
+		}
+		if wake > 0 {
+			a.wakeup(wake)
+		}
+		return
+	}
+	size := int64(a.cfg.MTU)
+	if pend := fl.demand.Pending(); pend < size {
+		size = pend
+	}
+	if a.cfg.Scheme == PWC {
+		if room := int64(fl.wf.Cwnd) - fl.inflight; room < size {
+			size = room
+		}
+	}
+	if size <= 0 {
+		return
+	}
+	fl.demand.Consume(size)
+	fl.inflight += size
+	fl.SentBytes += size
+	fl.seq++
+	fl.lastProgress = now
+	a.armRTO(fl)
+	path := fl.lb.Pick(now)
+	a.net.Send(&dataplane.Packet{
+		Kind:   dataplane.Data,
+		VMPair: fl.ID,
+		Tenant: fl.VF,
+		Size:   int(size),
+		Seq:    fl.seq,
+		Route:  fl.routes[path],
+		SentAt: now,
+		Meta:   dataMeta{weight: fl.Weight},
+	})
+	if fl.Weight > 0 {
+		fl.vservice += float64(size) / fl.Weight
+	}
+	// Pacing.
+	switch a.cfg.Scheme {
+	case PWC:
+		if fl.grant > 0 {
+			next := now + sim.Duration(float64(size*8)/fl.grant*float64(sim.Second))
+			if fl.paceNext < now {
+				fl.paceNext = next
+			} else {
+				fl.paceNext += next - now
+			}
+		}
+	case ESClove:
+		gap := sim.Duration(float64(size*8) / fl.ra.Rate * float64(sim.Second))
+		if fl.paceNext < now {
+			fl.paceNext = now + gap
+		} else {
+			fl.paceNext += gap
+		}
+	}
+	a.nicNextFree = now + topo.SerializationDelay(int(size), a.uplinkCap)
+	a.scheduleSend()
+}
+
+// ---- Receiving -------------------------------------------------------------
+
+// HandlePacket implements dataplane.Handler.
+func (a *Agent) HandlePacket(pkt *dataplane.Packet) {
+	switch pkt.Kind {
+	case dataplane.Data:
+		a.handleData(pkt)
+	case dataplane.Ack:
+		a.handleAck(pkt)
+	case dataplane.Probe:
+		a.handleProbe(pkt)
+	case dataplane.Response:
+		a.handleUtilResponse(pkt)
+	}
+}
+
+func (a *Agent) handleData(pkt *dataplane.Packet) {
+	now := a.eng.Now()
+	if a.OnReceive != nil {
+		a.OnReceive(pkt.VMPair, pkt.Size, now)
+	}
+	var grant float64
+	if a.cfg.Scheme == PWC {
+		rs := a.recv[pkt.VMPair]
+		if rs == nil {
+			rs = &recvState{}
+			a.recv[pkt.VMPair] = rs
+		}
+		if dm, ok := pkt.Meta.(dataMeta); ok {
+			rs.weight = dm.weight
+		}
+		rs.bytes += int64(pkt.Size)
+		grant = rs.grant
+	}
+	a.net.Send(&dataplane.Packet{
+		Kind:   dataplane.Ack,
+		VMPair: pkt.VMPair,
+		Tenant: pkt.Tenant,
+		Size:   a.cfg.AckSize,
+		Route:  a.graph.ReversePath(pkt.Route),
+		SentAt: now,
+		Meta:   ackMeta{bytes: pkt.Size, sentAt: pkt.SentAt, ecn: pkt.ECN, grant: grant},
+	})
+}
+
+func (a *Agent) handleAck(pkt *dataplane.Packet) {
+	fl := a.flows[pkt.VMPair]
+	if fl == nil {
+		return
+	}
+	meta, ok := pkt.Meta.(ackMeta)
+	if !ok {
+		return
+	}
+	now := a.eng.Now()
+	fl.inflight -= int64(meta.bytes)
+	if fl.inflight < 0 {
+		fl.inflight = 0
+	}
+	fl.lastProgress = now
+	fl.Delivered += int64(meta.bytes)
+	rtt := now - meta.sentAt
+	fl.RTT.Add(rtt.Micros())
+	switch a.cfg.Scheme {
+	case PWC:
+		fl.wf.OnAck(now, rtt, meta.bytes)
+		fl.grant = meta.grant
+	case ESClove:
+		fl.ra.OnAck(now, rtt, meta.bytes, meta.ecn)
+	}
+	if obs, ok := fl.demand.(flowsrc.DeliveryObserver); ok {
+		obs.Delivered(int64(meta.bytes), now)
+	}
+	a.scheduleSend()
+}
+
+// handleProbe answers utilization probes at the destination.
+func (a *Agent) handleProbe(pkt *dataplane.Packet) {
+	pp, _, err := probe.Decode(pkt.Payload)
+	if err != nil || pp.Kind != probe.KindProbe {
+		return
+	}
+	resp := pp.ToResponse(0)
+	buf, err := resp.Encode(nil)
+	if err != nil {
+		return
+	}
+	a.net.Send(&dataplane.Packet{
+		Kind:    dataplane.Response,
+		VMPair:  pkt.VMPair,
+		Tenant:  pkt.Tenant,
+		Size:    pkt.Size,
+		Route:   a.graph.ReversePath(pkt.Route),
+		SentAt:  a.eng.Now(),
+		Payload: buf,
+	})
+}
+
+// handleUtilResponse feeds explicit path utilization into Clove.
+func (a *Agent) handleUtilResponse(pkt *dataplane.Packet) {
+	fl := a.flows[pkt.VMPair]
+	if fl == nil {
+		return
+	}
+	resp, _, err := probe.Decode(pkt.Payload)
+	if err != nil || int(resp.PathID) >= len(fl.routes) {
+		return
+	}
+	util := 0.0
+	for _, h := range resp.Hops {
+		if h.Capacity <= 0 {
+			continue
+		}
+		u := h.TxRate / h.Capacity
+		// Queue buildup marks a path hot even before tx saturates.
+		u += float64(h.Queue) * 8 / (h.Capacity * fl.baseRTT[resp.PathID].Seconds())
+		if u > util {
+			util = u
+		}
+	}
+	fl.lb.SetUtil(int(resp.PathID), util)
+}
+
+// admissionUpdate runs every AdmissionWindow at PWC receivers: measure
+// per-pair demand, grant weighted max-min rates when oversubscribed.
+func (a *Agent) admissionUpdate() {
+	if len(a.recv) == 0 {
+		return
+	}
+	demands := make([]picnic.Demand, 0, len(a.recv))
+	order := make([]*recvState, 0, len(a.recv))
+	for _, rs := range a.recv {
+		demands = append(demands, picnic.Demand{Weight: rs.weight, Bytes: rs.bytes})
+		order = append(order, rs)
+		rs.bytes = 0
+	}
+	grants := picnic.Allocate(a.cfg.TargetUtilization*a.uplinkCap, a.cfg.AdmissionWindow, demands)
+	for i, rs := range order {
+		if grants == nil {
+			rs.grant = 0
+		} else {
+			rs.grant = grants[i]
+		}
+	}
+}
+
+// ---- Loss recovery ----------------------------------------------------------
+
+func (a *Agent) armRTO(fl *Flow) {
+	if fl.rtoArmed {
+		return
+	}
+	fl.rtoArmed = true
+	rto := sim.Duration(a.cfg.RTORTTs) * fl.baseRTT[0]
+	a.eng.After(rto, func() { a.checkRTO(fl, rto) })
+}
+
+func (a *Agent) checkRTO(fl *Flow, rto sim.Duration) {
+	fl.rtoArmed = false
+	if fl.inflight == 0 {
+		return
+	}
+	now := a.eng.Now()
+	if since := now - fl.lastProgress; since < rto {
+		fl.rtoArmed = true
+		a.eng.After(rto-since, func() { a.checkRTO(fl, rto) })
+		return
+	}
+	fl.Losses++
+	if rq, ok := fl.demand.(flowsrc.Requeuer); ok {
+		rq.Requeue(fl.inflight)
+	}
+	fl.inflight = 0
+	switch a.cfg.Scheme {
+	case PWC:
+		fl.wf.OnLoss()
+	case ESClove:
+		fl.ra.OnLoss(now)
+	}
+	a.scheduleSend()
+}
+
+// Repicks returns how many flowlet-boundary path changes Clove made for
+// this flow (the oscillation diagnostic of Fig 5c).
+func (fl *Flow) Repicks() int { return fl.lb.Repicks }

@@ -1,0 +1,56 @@
+// Package picnic implements the bandwidth-envelope components of PicNIC
+// [Kumar et al., SIGCOMM'19] that the paper compares against as PicNIC′
+// (§2.2): sender-side weighted fair queueing plus receiver-driven
+// admission control, similar to EyeQ. The receiver measures each incoming
+// VM-pair's demand over a short window and, when the aggregate exceeds the
+// target downlink capacity, grants per-pair rates by weighted max-min fair
+// sharing; the grants travel back on acknowledgments.
+//
+// PicNIC′ guarantees performance at the edge but is blind to fabric
+// congestion — the limitation the informative core removes.
+package picnic
+
+import (
+	"ufab/internal/sim"
+	"ufab/internal/stats"
+)
+
+// Demand is one incoming VM-pair's measured state at the receiver.
+type Demand struct {
+	// Weight is the pair's share weight (bandwidth tokens).
+	Weight float64
+	// Bytes is the payload received in the current window.
+	Bytes int64
+}
+
+// Allocate computes per-pair rate grants in bits/s given the receiver's
+// target capacity and each pair's measured demand over the window. It
+// returns nil when the aggregate fits under the capacity (no admission
+// needed — senders stay uncapped).
+func Allocate(capacityBps float64, window sim.Duration, demands []Demand) []float64 {
+	if len(demands) == 0 {
+		return nil
+	}
+	total := 0.0
+	rates := make([]float64, len(demands))
+	weights := make([]float64, len(demands))
+	flows := make([]int, len(demands))
+	for i, d := range demands {
+		rates[i] = float64(d.Bytes*8) / window.Seconds()
+		weights[i] = d.Weight
+		flows[i] = i
+		total += rates[i]
+	}
+	if total <= capacityBps {
+		return nil
+	}
+	// Weighted max-min of the capacity among the active pairs; demand
+	// does not cap the grant (a pair may ramp up next window).
+	unbounded := make([]float64, len(demands))
+	for i := range unbounded {
+		unbounded[i] = -1
+	}
+	return stats.Waterfill(weights, unbounded, []stats.WaterfillLink{
+		{Capacity: capacityBps, Flows: flows},
+	})
+}

@@ -1,0 +1,61 @@
+package picnic
+
+import (
+	"math"
+	"testing"
+
+	"ufab/internal/sim"
+)
+
+const win = 100 * sim.Microsecond
+
+// bytesFor returns the window byte count corresponding to a rate.
+func bytesFor(bps float64) int64 { return int64(bps * win.Seconds() / 8) }
+
+func TestNoAdmissionUnderCapacity(t *testing.T) {
+	grants := Allocate(10e9, win, []Demand{
+		{Weight: 1, Bytes: bytesFor(2e9)},
+		{Weight: 1, Bytes: bytesFor(3e9)},
+	})
+	if grants != nil {
+		t.Fatalf("grants = %v, want nil under capacity", grants)
+	}
+}
+
+func TestWeightedGrantsWhenOversubscribed(t *testing.T) {
+	grants := Allocate(9.5e9, win, []Demand{
+		{Weight: 1, Bytes: bytesFor(8e9)},
+		{Weight: 4, Bytes: bytesFor(8e9)},
+	})
+	if grants == nil {
+		t.Fatal("no grants despite oversubscription")
+	}
+	if math.Abs(grants[0]-9.5e9/5) > 1e6 {
+		t.Errorf("grant[0] = %v, want 1.9G", grants[0])
+	}
+	if math.Abs(grants[1]-4*9.5e9/5) > 1e6 {
+		t.Errorf("grant[1] = %v, want 7.6G", grants[1])
+	}
+}
+
+func TestEmptyDemands(t *testing.T) {
+	if Allocate(10e9, win, nil) != nil {
+		t.Fatal("empty demands must return nil")
+	}
+}
+
+func TestGrantsSumToCapacity(t *testing.T) {
+	demands := []Demand{
+		{Weight: 1, Bytes: bytesFor(5e9)},
+		{Weight: 2, Bytes: bytesFor(5e9)},
+		{Weight: 3, Bytes: bytesFor(5e9)},
+	}
+	grants := Allocate(9e9, win, demands)
+	sum := 0.0
+	for _, g := range grants {
+		sum += g
+	}
+	if math.Abs(sum-9e9) > 1e6 {
+		t.Fatalf("grants sum = %v, want 9e9", sum)
+	}
+}

@@ -1,0 +1,92 @@
+// Package wcc implements Weighted Congestion Control in the style the
+// paper evaluates (§2.2, §5): a Swift-like delay-based window algorithm
+// [Kumar et al., SIGCOMM'20] whose additive increase is scaled by a
+// per-source weight, as Seawall-family bandwidth allocators do. It is the
+// transport inside the PicNIC′+WCC+Clove (PWC) baseline.
+//
+// The package is a pure state machine — the host agent feeds it ACK
+// events and reads the congestion window — so its convergence behavior is
+// unit-testable without a network.
+package wcc
+
+import "ufab/internal/sim"
+
+// Config holds the algorithm constants.
+type Config struct {
+	// TargetDelay is the end-to-end delay target; below it the window
+	// grows, above it the window shrinks (Swift's base target).
+	TargetDelay sim.Duration
+	// AI is the additive increase in bytes per RTT per unit weight.
+	AI float64
+	// Beta scales the multiplicative decrease with the relative delay
+	// excess (Swift's β).
+	Beta float64
+	// MaxMDF caps the per-RTT multiplicative decrease factor.
+	MaxMDF float64
+	// MinCwnd and MaxCwnd bound the window in bytes.
+	MinCwnd, MaxCwnd float64
+}
+
+// Defaults returns the constants used by the evaluation: Swift's β = 0.8,
+// max decrease 0.5, AI of one MTU per RTT per unit weight.
+func Defaults(targetDelay sim.Duration) Config {
+	return Config{
+		TargetDelay: targetDelay,
+		AI:          1500,
+		Beta:        0.8,
+		MaxMDF:      0.5,
+		MinCwnd:     1500,
+		MaxCwnd:     64 << 20,
+	}
+}
+
+// Flow is one weighted flow's congestion state.
+type Flow struct {
+	cfg    Config
+	Weight float64
+	Cwnd   float64 // bytes
+	// lastDecrease enforces at most one multiplicative decrease per RTT.
+	lastDecrease sim.Time
+}
+
+// NewFlow returns a flow with the given weight and initial window.
+func NewFlow(cfg Config, weight, initialCwnd float64) *Flow {
+	f := &Flow{cfg: cfg, Weight: weight, Cwnd: initialCwnd}
+	f.clamp()
+	return f
+}
+
+func (f *Flow) clamp() {
+	if f.Cwnd < f.cfg.MinCwnd {
+		f.Cwnd = f.cfg.MinCwnd
+	}
+	if f.Cwnd > f.cfg.MaxCwnd {
+		f.Cwnd = f.cfg.MaxCwnd
+	}
+}
+
+// OnAck updates the window from one acknowledgment: rtt is the measured
+// delay, acked the bytes covered. Increase is weighted additive
+// (AI·weight per RTT, spread per-ack); decrease is multiplicative in the
+// relative delay excess, at most once per RTT — the slow, heuristic
+// evolution the paper contrasts with μFAB's jump-to-target.
+func (f *Flow) OnAck(now sim.Time, rtt sim.Duration, acked int) {
+	if rtt <= f.cfg.TargetDelay {
+		f.Cwnd += f.cfg.AI * f.Weight * float64(acked) / f.Cwnd
+	} else if now-f.lastDecrease >= rtt {
+		excess := float64(rtt-f.cfg.TargetDelay) / float64(rtt)
+		md := f.cfg.Beta * excess
+		if md > f.cfg.MaxMDF {
+			md = f.cfg.MaxMDF
+		}
+		f.Cwnd *= 1 - md
+		f.lastDecrease = now
+	}
+	f.clamp()
+}
+
+// OnLoss halves the window (retransmission-timeout response).
+func (f *Flow) OnLoss() {
+	f.Cwnd *= 0.5
+	f.clamp()
+}

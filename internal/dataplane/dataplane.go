@@ -1,0 +1,475 @@
+// Package dataplane is the packet-level network substrate every experiment
+// runs on: links with serialization and propagation delay, a single FIFO
+// egress queue per switch port (μFAB needs no priority queues, §3.1),
+// source-routed and ECMP forwarding, per-port telemetry (queue size and a
+// windowed TX-rate estimator), ECN marking for the baselines, tail drops,
+// and node failure injection.
+//
+// It stands in for the paper's hardware testbed and NS3: the evaluation's
+// quantities (rates, RTTs, queue occupancy, FCT) are all network-level
+// metrics that a discrete-event packet simulation reproduces.
+package dataplane
+
+import (
+	"fmt"
+
+	"ufab/internal/sim"
+	"ufab/internal/topo"
+)
+
+// VMPair identifies a VM-to-VM traffic aggregate, the unit μFAB allocates
+// bandwidth to.
+type VMPair uint32
+
+// Kind classifies packets for handlers and tracing.
+type Kind uint8
+
+// Packet kinds.
+const (
+	Data Kind = iota
+	Ack
+	Probe
+	Response
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case Probe:
+		return "probe"
+	case Response:
+		return "response"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Packet is the unit of transmission. Packets are created by edge agents
+// and mutated in place as they traverse the network (hop index, ECN mark,
+// probe payload).
+type Packet struct {
+	Kind   Kind
+	VMPair VMPair
+	Tenant int32
+	// Size is the on-wire size in bytes.
+	Size int
+	// Seq is a scheme-defined sequence number (bytes or packets).
+	Seq uint64
+	// Route is the source route as a sequence of link IDs; Hop indexes
+	// the next link to take. Empty Route means ECMP forwarding to Dst.
+	Route topo.Path
+	Hop   int
+	// Dst is the destination host (required for ECMP, informative
+	// otherwise).
+	Dst topo.NodeID
+	// SentAt is when the source emitted the packet (for RTT/latency).
+	SentAt sim.Time
+	// ECN is set by switches when the egress queue exceeds the marking
+	// threshold; baselines use it as their congestion signal.
+	ECN bool
+	// Payload carries an encoded probe (for Probe/Response packets).
+	Payload []byte
+	// Meta carries scheme-specific data (e.g. ack bookkeeping) that a
+	// real implementation would encode in headers.
+	Meta any
+}
+
+// Handler receives packets delivered to a host.
+type Handler interface {
+	HandlePacket(pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(pkt *Packet)
+
+// HandlePacket calls f.
+func (f HandlerFunc) HandlePacket(pkt *Packet) { f(pkt) }
+
+// SwitchAgent is the per-switch processing hook (μFAB-C). OnForward runs
+// when a packet is about to be enqueued on egress port out at a switch.
+type SwitchAgent interface {
+	OnForward(pkt *Packet, out *Port, now sim.Time)
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// QueueCapBytes is the per-port egress buffer; beyond it packets
+	// tail-drop. 0 means a deep default (10 MB).
+	QueueCapBytes int
+	// ECNThresholdBytes marks packets ECN when the egress queue exceeds
+	// it. 0 disables marking.
+	ECNThresholdBytes int
+	// RateWindow is the TX-rate estimator window (default 16 μs).
+	RateWindow sim.Duration
+	// ECMP selects the hash used by hash-based forwarding.
+	ECMP ECMPMode
+	// HashSeed perturbs the ECMP hash.
+	HashSeed uint64
+}
+
+// ECMPMode selects how switches hash flows onto equal-cost next hops.
+type ECMPMode uint8
+
+// ECMP modes. Polarized applies the identical hash function at every tier
+// (no per-switch entropy), reproducing the hash-polarization pathology of
+// Fig 3; Independent mixes the switch ID into the hash.
+const (
+	Independent ECMPMode = iota
+	Polarized
+)
+
+// Port is the egress side of a link: a FIFO queue plus telemetry.
+type Port struct {
+	Link *topo.Link
+	// queue holds packets waiting behind the one being serialized.
+	queue      []*Packet
+	queueBytes int
+	busy       bool
+	// Telemetry.
+	rate     rateEstimator
+	capBytes int
+	ecnBytes int
+	// Drops counts tail-dropped packets.
+	Drops uint64
+	// TxPackets and TxBytes count completed transmissions.
+	TxPackets, TxBytes uint64
+	// MaxQueueBytes tracks the high-water mark for queue CDFs.
+	MaxQueueBytes int
+}
+
+// QueueBytes returns the bytes currently waiting in the egress queue
+// (excluding the packet on the wire).
+func (p *Port) QueueBytes() int { return p.queueBytes }
+
+// Capacity returns the link line rate in bits/s.
+func (p *Port) Capacity() float64 { return p.Link.Capacity }
+
+// TxRate returns the estimated output rate in bits/s over the most recent
+// estimator window, clamped to the line rate (the estimator's live-window
+// blend can momentarily overshoot; a port cannot).
+func (p *Port) TxRate(now sim.Time) float64 {
+	r := p.rate.Rate(now)
+	if r > p.Link.Capacity {
+		return p.Link.Capacity
+	}
+	return r
+}
+
+// rateEstimator measures bytes sent in rotating windows; the reported rate
+// is from the last completed window, blended with the live one, which is
+// what a switch data plane computes with paired byte/time registers.
+type rateEstimator struct {
+	window     sim.Duration
+	winStart   sim.Time
+	winBytes   int64
+	prevRate   float64 // bits/s of last completed window
+	havePrev   bool
+	totalBytes int64
+}
+
+func (r *rateEstimator) add(now sim.Time, bytes int) {
+	r.roll(now)
+	r.winBytes += int64(bytes)
+	r.totalBytes += int64(bytes)
+}
+
+func (r *rateEstimator) roll(now sim.Time) {
+	for now-r.winStart >= r.window {
+		elapsed := r.window
+		r.prevRate = float64(r.winBytes*8) / elapsed.Seconds()
+		r.havePrev = true
+		r.winBytes = 0
+		r.winStart += r.window
+		if now-r.winStart >= 16*r.window {
+			// Long idle gap: jump instead of looping.
+			r.prevRate = 0
+			r.winStart = now - (now-r.winStart)%r.window
+		}
+	}
+}
+
+// Rate returns the estimate in bits/s.
+func (r *rateEstimator) Rate(now sim.Time) float64 {
+	r.roll(now)
+	if !r.havePrev {
+		if now == r.winStart {
+			return 0
+		}
+		return float64(r.winBytes*8) / (now - r.winStart).Seconds()
+	}
+	// Blend the completed window with the live partial window for
+	// responsiveness at sub-window timescales.
+	frac := float64(now-r.winStart) / float64(r.window)
+	if frac <= 0 {
+		return r.prevRate
+	}
+	live := float64(r.winBytes*8) / (now - r.winStart).Seconds()
+	return r.prevRate*(1-frac) + live*frac
+}
+
+// Network simulates packet forwarding over a topology graph.
+type Network struct {
+	Eng *sim.Engine
+	G   *topo.Graph
+	Cfg Config
+
+	Ports []Port // indexed by LinkID
+
+	handlers []Handler     // indexed by NodeID (hosts)
+	agents   []SwitchAgent // indexed by NodeID (switches)
+	failed   []bool        // indexed by NodeID
+
+	// dist[h] is the hop distance from every node to host h, for ECMP;
+	// computed lazily per destination.
+	dist map[topo.NodeID][]int32
+
+	// TotalDrops counts packets dropped anywhere (queue overflow or
+	// failed node).
+	TotalDrops uint64
+	// Trace, if non-nil, observes every host delivery (testing hook).
+	Trace func(at topo.NodeID, pkt *Packet)
+	// OnFailDrop, if non-nil, runs when a packet is dropped because its
+	// next hop (or the local node) has failed — the hook a
+	// BFD-detecting switch uses to bounce failure notifications
+	// (probe type 4) back to the source.
+	OnFailDrop func(pkt *Packet, at topo.NodeID)
+}
+
+// New builds a Network over g driven by eng.
+func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
+	if cfg.QueueCapBytes == 0 {
+		cfg.QueueCapBytes = 10 << 20
+	}
+	if cfg.RateWindow == 0 {
+		cfg.RateWindow = 16 * sim.Microsecond
+	}
+	n := &Network{
+		Eng:      eng,
+		G:        g,
+		Cfg:      cfg,
+		Ports:    make([]Port, len(g.Links)),
+		handlers: make([]Handler, len(g.Nodes)),
+		agents:   make([]SwitchAgent, len(g.Nodes)),
+		failed:   make([]bool, len(g.Nodes)),
+		dist:     make(map[topo.NodeID][]int32),
+	}
+	for i := range n.Ports {
+		p := &n.Ports[i]
+		p.Link = g.Link(topo.LinkID(i))
+		p.capBytes = cfg.QueueCapBytes
+		p.ecnBytes = cfg.ECNThresholdBytes
+		p.rate.window = cfg.RateWindow
+	}
+	return n
+}
+
+// Port returns the egress port of link l.
+func (n *Network) Port(l topo.LinkID) *Port { return &n.Ports[l] }
+
+// SetHandler installs the packet handler for a host node.
+func (n *Network) SetHandler(host topo.NodeID, h Handler) {
+	if n.G.Node(host).Kind != topo.Host {
+		panic(fmt.Sprintf("dataplane: SetHandler on non-host %d", host))
+	}
+	n.handlers[host] = h
+}
+
+// SetSwitchAgent installs the per-node forwarding agent (μFAB-C). It may
+// also be attached to a host node, in which case it observes the host's
+// uplink egress — the "μFAB-C in the hypervisor" deployment of §6.
+func (n *Network) SetSwitchAgent(sw topo.NodeID, a SwitchAgent) {
+	n.agents[sw] = a
+}
+
+// FailNode marks a node as failed: packets arriving at it or queued to
+// leave it are dropped. Fig 15 fails Core1 at t = 90 ms.
+func (n *Network) FailNode(id topo.NodeID) { n.failed[id] = true }
+
+// RecoverNode clears a failure.
+func (n *Network) RecoverNode(id topo.NodeID) { n.failed[id] = false }
+
+// Failed reports whether a node is failed.
+func (n *Network) Failed(id topo.NodeID) bool { return n.failed[id] }
+
+// Send injects a source-routed packet at the source of its route's first
+// link. The caller must have set Route; Hop must be 0.
+func (n *Network) Send(pkt *Packet) {
+	if len(pkt.Route) == 0 {
+		panic("dataplane: Send without route (use SendECMP)")
+	}
+	pkt.Hop = 0
+	pkt.Dst = n.G.PathDst(pkt.Route)
+	n.enqueue(pkt, pkt.Route[0])
+}
+
+// SendECMP injects a packet at src to be hash-forwarded to pkt.Dst.
+func (n *Network) SendECMP(pkt *Packet, src topo.NodeID) {
+	pkt.Route = nil
+	next := n.ecmpNext(src, pkt)
+	if next == topo.NoLink {
+		n.TotalDrops++
+		return
+	}
+	n.enqueue(pkt, next)
+}
+
+func (n *Network) enqueue(pkt *Packet, lid topo.LinkID) {
+	port := &n.Ports[lid]
+	if n.failed[port.Link.Src] || n.failed[port.Link.Dst] {
+		n.TotalDrops++
+		if n.OnFailDrop != nil {
+			n.OnFailDrop(pkt, port.Link.Src)
+		}
+		return
+	}
+	// Switch agent hook (INT read/write) fires at enqueue time on
+	// switch egress.
+	if ag := n.agents[port.Link.Src]; ag != nil {
+		ag.OnForward(pkt, port, n.Eng.Now())
+	}
+	// ECN marking on queue buildup.
+	if port.ecnBytes > 0 && port.queueBytes >= port.ecnBytes {
+		pkt.ECN = true
+	}
+	if port.queueBytes+pkt.Size > port.capBytes {
+		port.Drops++
+		n.TotalDrops++
+		return
+	}
+	port.queue = append(port.queue, pkt)
+	port.queueBytes += pkt.Size
+	if port.queueBytes > port.MaxQueueBytes {
+		port.MaxQueueBytes = port.queueBytes
+	}
+	if !port.busy {
+		n.startTx(port)
+	}
+}
+
+func (n *Network) startTx(port *Port) {
+	pkt := port.queue[0]
+	port.queue = port.queue[1:]
+	port.queueBytes -= pkt.Size
+	port.busy = true
+	ser := topo.SerializationDelay(pkt.Size, port.Link.Capacity)
+	n.Eng.After(ser, func() {
+		port.busy = false
+		port.TxPackets++
+		port.TxBytes += uint64(pkt.Size)
+		port.rate.add(n.Eng.Now(), pkt.Size)
+		// Propagate to the far end.
+		dst := port.Link.Dst
+		n.Eng.After(port.Link.PropDelay, func() { n.arrive(pkt, dst) })
+		if len(port.queue) > 0 {
+			n.startTx(port)
+		}
+	})
+}
+
+func (n *Network) arrive(pkt *Packet, at topo.NodeID) {
+	if n.failed[at] {
+		n.TotalDrops++
+		return
+	}
+	node := n.G.Node(at)
+	if node.Kind == topo.Host {
+		if n.Trace != nil {
+			n.Trace(at, pkt)
+		}
+		if h := n.handlers[at]; h != nil {
+			h.HandlePacket(pkt)
+		}
+		return
+	}
+	// Switch: forward.
+	var next topo.LinkID
+	if len(pkt.Route) > 0 {
+		pkt.Hop++
+		if pkt.Hop >= len(pkt.Route) {
+			n.TotalDrops++ // route exhausted before reaching a host
+			return
+		}
+		next = pkt.Route[pkt.Hop]
+		if n.G.Link(next).Src != at {
+			panic(fmt.Sprintf("dataplane: route hop %d link %d does not start at node %d", pkt.Hop, next, at))
+		}
+	} else {
+		next = n.ecmpNext(at, pkt)
+		if next == topo.NoLink {
+			n.TotalDrops++
+			return
+		}
+	}
+	n.enqueue(pkt, next)
+}
+
+// distTo returns (computing if needed) hop distances from all nodes to dst.
+func (n *Network) distTo(dst topo.NodeID) []int32 {
+	if d, ok := n.dist[dst]; ok {
+		return d
+	}
+	const inf = int32(1) << 30
+	d := make([]int32, len(n.G.Nodes))
+	for i := range d {
+		d[i] = inf
+	}
+	d[dst] = 0
+	queue := []topo.NodeID{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// Incoming links of v are reverses of v's out links (duplex).
+		for _, lid := range n.G.Node(v).Out {
+			rev := n.G.Link(lid).Reverse
+			if rev == topo.NoLink {
+				continue
+			}
+			u := n.G.Link(rev).Src
+			if d[u] > d[v]+1 {
+				d[u] = d[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	n.dist[dst] = d
+	return d
+}
+
+func (n *Network) ecmpNext(at topo.NodeID, pkt *Packet) topo.LinkID {
+	d := n.distTo(pkt.Dst)
+	var candidates []topo.LinkID
+	for _, lid := range n.G.Node(at).Out {
+		to := n.G.Link(lid).Dst
+		if d[to] == d[at]-1 && !n.failed[to] {
+			candidates = append(candidates, lid)
+		}
+	}
+	if len(candidates) == 0 {
+		return topo.NoLink
+	}
+	h := ecmpHash(uint64(pkt.VMPair), n.Cfg.HashSeed)
+	if n.Cfg.ECMP == Independent {
+		// Mix per-switch entropy in, as independent hash functions do.
+		h = ecmpHash(h^uint64(at)*0x9e3779b97f4a7c15, n.Cfg.HashSeed)
+	}
+	return candidates[h%uint64(len(candidates))]
+}
+
+func ecmpHash(x, seed uint64) uint64 {
+	x ^= seed
+	x = (x ^ (x >> 33)) * 0xff51afd7ed558ccd
+	x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// LinkUtilization returns TX bytes on link l as a fraction of what the link
+// could have carried in [0, now].
+func (n *Network) LinkUtilization(l topo.LinkID, now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	p := &n.Ports[l]
+	return float64(p.TxBytes*8) / (p.Link.Capacity * now.Seconds())
+}

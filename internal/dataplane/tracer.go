@@ -1,0 +1,39 @@
+package dataplane
+
+import (
+	"fmt"
+	"io"
+
+	"ufab/internal/topo"
+)
+
+// Tracer writes one line per delivered packet — a text "packet capture"
+// for debugging simulations. Install it with Network.AttachTracer; the
+// columns are delivery time, destination node, kind, VM-pair, size, and
+// source-to-delivery latency.
+type Tracer struct {
+	w   io.Writer
+	net *Network
+	// Filter, if non-nil, limits tracing to packets it returns true for.
+	Filter func(pkt *Packet) bool
+	// Lines counts emitted records.
+	Lines uint64
+}
+
+// AttachTracer installs a tracer as the network's Trace hook (replacing
+// any previous hook) and returns it.
+func (n *Network) AttachTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: w, net: n}
+	n.Trace = t.record
+	return t
+}
+
+func (t *Tracer) record(at topo.NodeID, pkt *Packet) {
+	if t.Filter != nil && !t.Filter(pkt) {
+		return
+	}
+	t.Lines++
+	now := t.net.Eng.Now()
+	fmt.Fprintf(t.w, "t=%-14v %-12s %-8s vm=%-6d size=%-5d lat=%v\n",
+		now, t.net.G.Node(at).Name, pkt.Kind, pkt.VMPair, pkt.Size, now-pkt.SentAt)
+}

@@ -1,0 +1,366 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a pure function from an Options struct to
+// a Report; the cmd/ufabsim CLI, the root bench harness and EXPERIMENTS.md
+// are all generated from the same functions.
+//
+// Absolute numbers differ from the paper (the substrate is a discrete-event
+// simulator, not the authors' testbed), but each Report records the
+// quantities whose *shape* the paper's claims rest on: who keeps its
+// guarantee, whose tail latency is bounded, where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ufab/internal/dataplane"
+	"ufab/internal/sim"
+	"ufab/internal/stats"
+	"ufab/internal/topo"
+	"ufab/internal/vfabric"
+	"ufab/internal/workload"
+
+	blhost "ufab/internal/baseline/host"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Quick runs a scaled-down version (shorter horizon, smaller
+	// fan-in) suitable for go test -bench.
+	Quick bool
+	// Seed drives all randomness; runs are deterministic per seed.
+	Seed int64
+}
+
+// Report is an experiment's structured result.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	// Metrics carries the headline numbers (for benches and regression
+	// checks); keys are stable identifiers.
+	Metrics map[string]float64
+	// Series holds the figure's representative curves (e.g. per-VF rate
+	// evolution); cmd/ufabsim -csv exports them.
+	Series []*stats.Series
+	order  []string
+}
+
+// NewReport creates an empty report.
+func NewReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+// Printf appends a formatted line.
+func (r *Report) Printf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// AddSeries attaches a named curve to the report.
+func (r *Report) AddSeries(name string, s *stats.Series) {
+	c := *s
+	c.Name = name
+	r.Series = append(r.Series, &c)
+}
+
+// WriteCSV writes every attached series as CSV (time_us,value) files named
+// <id>_<series>.csv under dir.
+func (r *Report) WriteCSV(dir string) error {
+	for _, s := range r.Series {
+		name := r.ID + "_" + sanitize(s.Name) + ".csv"
+		var b strings.Builder
+		b.WriteString("time_us,value\n")
+		for _, pt := range s.Pts {
+			fmt.Fprintf(&b, "%.3f,%g\n", pt.T.Micros(), pt.V)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metric records a headline number.
+func (r *Report) Metric(name string, v float64) {
+	if _, ok := r.Metrics[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.Metrics[name] = v
+}
+
+// MetricNames returns metric keys in insertion order.
+func (r *Report) MetricNames() []string { return r.order }
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("-- metrics --\n")
+		for _, k := range r.order {
+			fmt.Fprintf(&b, "%s = %.4g\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// Entry describes one runnable experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func(Options) *Report
+}
+
+// All lists every experiment in paper order.
+var All = []Entry{
+	{"fig1", "ECS motivation: bursty interference inflates tail RTT at low average load", Fig1},
+	{"fig2", "EBS motivation: millisecond bursts inflate tail task completion time", Fig2},
+	{"fig3", "Hash polarization: load imbalance across equivalent uplinks", Fig3},
+	{"fig4", "Case-1: incast RTT distribution vs incast degree (PWC vs uFAB)", Fig4},
+	{"fig5", "Case-2: utilization-oriented migration breaks bandwidth guarantees", Fig5},
+	{"fig11", "Bandwidth guarantee with work conservation under high load", Fig11},
+	{"fig12", "14-to-1 incast: convergence and bounded latency", Fig12},
+	{"fig13", "Memcached QPS/QCT under MongoDB background traffic", Fig13},
+	{"fig14", "EBS task completion times under guarantees", Fig14},
+	{"fig15", "100GE predictability under churn and failure; probing overhead", Fig15},
+	{"fig16", "90-to-1 highly dynamic workload", Fig16},
+	{"fig17", "Real workload on the large fabric (oversubscription x load sweep)", Fig17},
+	{"fig18", "Sensitivity: migration freeze window and probing frequency", Fig18},
+	{"fig19", "Control-law reaction: primal (2 RTT) vs dual (4 RTT)", Fig19},
+	{"fig20", "Heterogeneous response delays: 128-to-1 convergence", Fig20},
+	{"tab3", "uFAB-E FPGA resource consumption model", Table3},
+	{"tab4", "uFAB-C switch resource consumption model", Table4},
+}
+
+// Find returns the entry with the given id, or nil.
+func Find(id string) *Entry {
+	for i := range All {
+		if All[i].ID == id {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// ---- shared fabric helpers --------------------------------------------------
+
+// scheme identifies the system under test in comparative experiments.
+type scheme int
+
+const (
+	schemeUFAB scheme = iota
+	schemeUFABPrime
+	schemePWC
+	schemeES
+)
+
+func (s scheme) String() string {
+	switch s {
+	case schemeUFAB:
+		return "uFAB"
+	case schemeUFABPrime:
+		return "uFAB'"
+	case schemePWC:
+		return "PicNIC'+WCC+Clove"
+	case schemeES:
+		return "ES+Clove"
+	}
+	return "?"
+}
+
+// system is the uniform handle over a μFAB or baseline deployment used by
+// the comparative experiments.
+type system struct {
+	scheme scheme
+	eng    *sim.Engine
+	graph  *topo.Graph
+
+	uf *vfabric.Fabric
+	bl *blhost.Fabric
+}
+
+// flowHandle is the uniform per-flow measurement handle.
+type flowHandle struct {
+	ufFlow *vfabric.Flow
+	blFlow *blhost.FlowHandle
+}
+
+func (h *flowHandle) buffer() *flowBuffer {
+	if h.ufFlow != nil {
+		return &flowBuffer{uf: h.ufFlow}
+	}
+	return &flowBuffer{bl: h.blFlow}
+}
+
+// flowBuffer writes demand into either fabric's buffer.
+type flowBuffer struct {
+	uf *vfabric.Flow
+	bl *blhost.FlowHandle
+}
+
+func (b *flowBuffer) Add(n int64) {
+	if b.uf != nil {
+		b.uf.Buffer.Add(n)
+	} else {
+		b.bl.Buffer.Add(n)
+	}
+}
+
+func (b *flowBuffer) Drain() {
+	if b.uf != nil {
+		b.uf.Buffer.Consume(b.uf.Buffer.Pending())
+	} else {
+		b.bl.Buffer.Consume(b.bl.Buffer.Pending())
+	}
+}
+
+func (h *flowHandle) rate(from, to sim.Time) float64 {
+	if h.ufFlow != nil {
+		return h.ufFlow.Rate(from, to)
+	}
+	return h.blFlow.Rate(from, to)
+}
+
+func (h *flowHandle) rtt() *stats.Samples {
+	if h.ufFlow != nil {
+		return &h.ufFlow.Pair.RTT
+	}
+	return &h.blFlow.Flow.RTT
+}
+
+func (h *flowHandle) delivered() int64 {
+	if h.ufFlow != nil {
+		return h.ufFlow.Pair.Delivered
+	}
+	return h.blFlow.Flow.Delivered
+}
+
+// newSystem builds a deployment of the given scheme over g.
+func newSystem(s scheme, eng *sim.Engine, g *topo.Graph, seed int64) *system {
+	sys := &system{scheme: s, eng: eng, graph: g}
+	switch s {
+	case schemeUFAB, schemeUFABPrime:
+		cfg := vfabric.Config{Seed: seed}
+		cfg.Edge.DisableTwoStage = s == schemeUFABPrime
+		sys.uf = vfabric.New(eng, g, cfg)
+	case schemePWC:
+		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.PWC, Seed: seed}, dataplane.Config{})
+	case schemeES:
+		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.ESClove, Seed: seed}, dataplane.Config{})
+	}
+	return sys
+}
+
+// addVF registers a VF (μFAB) — a no-op for baselines, which carry the
+// weight per flow.
+func (sys *system) addVF(id int32, guaranteeBps float64, class int) {
+	if sys.uf != nil {
+		sys.uf.AddVF(id, guaranteeBps, class)
+	}
+}
+
+// addFlow creates a backing VM-pair of the VF with guarantee tokens.
+func (sys *system) addFlow(vf int32, guaranteeBps float64, src, dst topo.NodeID) *flowHandle {
+	if sys.uf != nil {
+		v := sys.uf.VFs[vf]
+		if v == nil {
+			v = sys.uf.AddVF(vf, guaranteeBps, weightClass(guaranteeBps))
+		}
+		return &flowHandle{ufFlow: sys.uf.AddFlow(v, src, dst, 0)}
+	}
+	tokens := guaranteeBps / 100e6
+	return &flowHandle{blFlow: sys.bl.AddFlow(vf, tokens, src, dst, 4)}
+}
+
+// weightClass maps a guarantee to one of the 8 WFQ classes.
+func weightClass(guaranteeBps float64) int {
+	c := 0
+	for g := 1e9; g < guaranteeBps && c < 7; g *= 2 {
+		c++
+	}
+	return c
+}
+
+func (sys *system) startSampling(interval sim.Duration) func() {
+	if sys.uf != nil {
+		return sys.uf.StartSampling(interval)
+	}
+	return sys.bl.StartSampling(interval)
+}
+
+func (sys *system) sampleRates() {
+	if sys.uf != nil {
+		sys.uf.SampleRates()
+	} else {
+		sys.bl.SampleRates()
+	}
+}
+
+func (sys *system) maxQueueBytes() int {
+	if sys.uf != nil {
+		return sys.uf.MaxQueueBytes()
+	}
+	return sys.bl.MaxQueueBytes()
+}
+
+// queueHighWaters gathers the high-water marks of all switch egress
+// queues, sorted ascending.
+func (sys *system) queueHighWaters() []float64 {
+	net := sys.net()
+	var out []float64
+	for i := range net.Ports {
+		p := &net.Ports[i]
+		if sys.graph.Node(p.Link.Src).Kind != topo.Switch {
+			continue
+		}
+		out = append(out, float64(p.MaxQueueBytes))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func (sys *system) net() *dataplane.Network {
+	if sys.uf != nil {
+		return sys.uf.Net
+	}
+	return sys.bl.Net
+}
+
+// percentileOf returns the q-quantile of a sorted slice.
+func percentileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// backlog fills a flow with effectively infinite demand.
+func (h *flowHandle) backlog() { h.buffer().Add(1 << 42) }
+
+// mcMessages dials a message-tracked flow on either fabric.
+func (sys *system) addMessageFlow(vf int32, guaranteeBps float64, src, dst topo.NodeID) (*workload.Messages, *flowHandle) {
+	msgs := &workload.Messages{}
+	if sys.uf != nil {
+		v := sys.uf.VFs[vf]
+		if v == nil {
+			v = sys.uf.AddVF(vf, guaranteeBps, weightClass(guaranteeBps))
+		}
+		fl := sys.uf.AddFlowDemand(v, src, dst, 0, msgs)
+		return msgs, &flowHandle{ufFlow: fl}
+	}
+	tokens := guaranteeBps / 100e6
+	fh := sys.bl.AddFlowDemand(vf, tokens, src, dst, 4, msgs)
+	return msgs, &flowHandle{blFlow: fh}
+}
+
+// newRand returns a deterministic RNG for experiment-level choices.
+func newRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

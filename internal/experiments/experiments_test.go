@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick(t *testing.T, id string) *Report {
+	t.Helper()
+	e := Find(id)
+	if e == nil {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	rep := e.Run(Options{Quick: true, Seed: 1})
+	if rep.ID != id {
+		t.Fatalf("report id %q", rep.ID)
+	}
+	if len(rep.Lines) == 0 {
+		t.Fatal("empty report")
+	}
+	return rep
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"tab3", "tab4", "abl"}
+	if len(All) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
+	}
+	for _, id := range want {
+		if Find(id) == nil {
+			t.Errorf("missing %s", id)
+		}
+	}
+	if Find("nope") != nil {
+		t.Error("Find invented an experiment")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := NewReport("x", "test")
+	r.Printf("line %d", 1)
+	r.Metric("m", 3.5)
+	s := r.String()
+	if !strings.Contains(s, "line 1") || !strings.Contains(s, "m = 3.5") {
+		t.Fatalf("String() = %q", s)
+	}
+	if len(r.MetricNames()) != 1 {
+		t.Error("MetricNames wrong")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rep := quick(t, "fig3")
+	if rep.Metrics["polarized_used"] >= rep.Metrics["independent_used"] {
+		t.Errorf("polarization must concentrate load: %v vs %v",
+			rep.Metrics["polarized_used"], rep.Metrics["independent_used"])
+	}
+	if rep.Metrics["independent_used"] != 24 {
+		t.Errorf("independent hash used %v/24 uplinks", rep.Metrics["independent_used"])
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rep := quick(t, "fig1")
+	if rep.Metrics["avg_load_pct"] > 15 {
+		t.Errorf("average load %v%%, want the low-utilization regime", rep.Metrics["avg_load_pct"])
+	}
+	if rep.Metrics["max_tail_inflation"] < 2 {
+		t.Errorf("tail inflation %vx, want burst epochs to inflate the tail", rep.Metrics["max_tail_inflation"])
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	rep := quick(t, "fig2")
+	if rep.Metrics["load_pct"] < 10 || rep.Metrics["load_pct"] > 45 {
+		t.Errorf("load %v%%, want the paper's moderate-steady regime", rep.Metrics["load_pct"])
+	}
+	if rep.Metrics["tct_tail_over_mean"] < 1.3 {
+		t.Errorf("TCT tail/mean %v, want visible tail inflation", rep.Metrics["tct_tail_over_mean"])
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rep := quick(t, "fig4")
+	// At the largest degree, μFAB's tail must be well below PWC's.
+	pwc := rep.Metrics["pwc_tail_us_10"]
+	ufab := rep.Metrics["ufab_tail_us_10"]
+	if ufab >= pwc {
+		t.Errorf("uFAB tail %v ≥ PWC tail %v at 10-to-1", ufab, pwc)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rep := quick(t, "fig5")
+	if rep.Metrics["ufab_satisfied"] != 4 {
+		t.Errorf("uFAB satisfied %v/4 guarantees", rep.Metrics["ufab_satisfied"])
+	}
+	if rep.Metrics["pwc200_satisfied"] >= 4 {
+		t.Errorf("PWC(200us) satisfied %v/4 — should break a guarantee", rep.Metrics["pwc200_satisfied"])
+	}
+	// The small flowlet gap oscillates; μFAB settles after ≤2 switches.
+	if rep.Metrics["pwc36_switches"] < 10*rep.Metrics["ufab_switches"] {
+		t.Errorf("oscillation contrast missing: pwc36=%v ufab=%v switches",
+			rep.Metrics["pwc36_switches"], rep.Metrics["ufab_switches"])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rep := quick(t, "fig11")
+	ufab := rep.Metrics["ufab_dissat_pct"]
+	pwc := rep.Metrics["pwc_dissat_pct"]
+	if ufab >= pwc {
+		t.Errorf("uFAB dissatisfaction %v%% ≥ PWC %v%%", ufab, pwc)
+	}
+	if ufab > 12 {
+		t.Errorf("uFAB dissatisfaction %v%%, want near zero", ufab)
+	}
+	// ES keeps guarantees by building queues: its max queue dwarfs μFAB's.
+	if rep.Metrics["es_maxq_kb"] < 5*rep.Metrics["ufab_maxq_kb"] {
+		t.Errorf("ES queue %v KB vs uFAB %v KB — deep-queue contrast missing",
+			rep.Metrics["es_maxq_kb"], rep.Metrics["ufab_maxq_kb"])
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rep := quick(t, "fig12")
+	// μFAB's max RTT must be below μFAB′'s (the burst bound at work)
+	// and far below PWC's.
+	if rep.Metrics["ufab_rtt_max_us"] > rep.Metrics["ufabp_rtt_max_us"] {
+		t.Errorf("uFAB max RTT %v > uFAB' %v", rep.Metrics["ufab_rtt_max_us"], rep.Metrics["ufabp_rtt_max_us"])
+	}
+	if rep.Metrics["ufab_rtt_max_us"] >= rep.Metrics["pwc_rtt_max_us"] {
+		t.Errorf("uFAB max RTT %v ≥ PWC %v", rep.Metrics["ufab_rtt_max_us"], rep.Metrics["pwc_rtt_max_us"])
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	rep := quick(t, "fig15")
+	if rep.Metrics["satisfied"] < 6 {
+		t.Errorf("only %v/7 guarantees kept around the failure", rep.Metrics["satisfied"])
+	}
+	if rep.Metrics["migrations"] == 0 {
+		t.Error("no migrations after the core failure")
+	}
+	// Probing overhead stays under the analytic bound and flattens.
+	bound := rep.Metrics["overhead_bound_pct"]
+	for _, k := range []string{"overhead_pct_1", "overhead_pct_10", "overhead_pct_100"} {
+		if rep.Metrics[k] > bound*1.5 {
+			t.Errorf("%s = %v%% exceeds bound %v%%", k, rep.Metrics[k], bound)
+		}
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	rep := quick(t, "fig19")
+	rtts := rep.Metrics["reaction_rtts"]
+	if rtts < 0 {
+		t.Fatal("incumbent never reacted")
+	}
+	// Primal control reacts within a handful of RTTs (theory: ~2; allow
+	// measurement slack for meter quantization and probe cadence).
+	if rtts > 8 {
+		t.Errorf("reaction = %.1f baseRTTs, want a few", rtts)
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	rep := quick(t, "fig20")
+	if rep.Metrics["conv_us"] < 0 {
+		t.Fatal("no convergence despite async responses")
+	}
+	if rep.Metrics["rtt_spread_us"] <= 0 {
+		t.Error("no response asynchrony measured")
+	}
+}
+
+func TestTablesShape(t *testing.T) {
+	t3 := quick(t, "tab3")
+	if t3.Metrics["total_bram_pct"] < 10 || t3.Metrics["total_bram_pct"] > 25 {
+		t.Errorf("tab3 BRAM = %v%%", t3.Metrics["total_bram_pct"])
+	}
+	t4 := quick(t, "tab4")
+	if !(t4.Metrics["sram_pct_20k"] < t4.Metrics["sram_pct_40k"] &&
+		t4.Metrics["sram_pct_40k"] < t4.Metrics["sram_pct_80k"]) {
+		t.Error("tab4 SRAM not monotone in VM-pairs")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rep := quick(t, "fig13")
+	// Under high load, μFAB's QPS beats the baselines'; the
+	// interference-free Ideal beats everyone.
+	if rep.Metrics["high_ufab_qps"] <= rep.Metrics["high_pwc_qps"] {
+		t.Errorf("uFAB QPS %v ≤ PWC %v under high load",
+			rep.Metrics["high_ufab_qps"], rep.Metrics["high_pwc_qps"])
+	}
+	if rep.Metrics["high_ideal_qps"] < rep.Metrics["high_ufab_qps"] {
+		t.Errorf("Ideal QPS %v below uFAB %v", rep.Metrics["high_ideal_qps"], rep.Metrics["high_ufab_qps"])
+	}
+	if rep.Metrics["high_ideal_qct_p99_us"] >= rep.Metrics["high_pwc_qct_p99_us"] {
+		t.Error("Ideal tail QCT not below PWC's")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	rep := quick(t, "fig16")
+	// μFAB bounds the tail RTT under the on/off churn; PWC does not.
+	if rep.Metrics["ufab_rtt_max_us"] >= rep.Metrics["pwc_rtt_max_us"] {
+		t.Errorf("uFAB max RTT %v ≥ PWC %v", rep.Metrics["ufab_rtt_max_us"], rep.Metrics["pwc_rtt_max_us"])
+	}
+	// All schemes reach high utilization during unlimited phases.
+	for _, k := range []string{"ufab_unlimited_gbps", "pwc_unlimited_gbps", "es_unlimited_gbps"} {
+		if rep.Metrics[k] < 40 {
+			t.Errorf("%s = %v G, want high utilization", k, rep.Metrics[k])
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	rep := quick(t, "fig18")
+	// Convergence with the recommended [1,10] freeze window at 70% load.
+	if v, ok := rep.Metrics["freeze10_70%_conv_ms"]; !ok || v < 0 {
+		t.Errorf("freeze [1,10] at 70%% load did not converge: %v", v)
+	}
+	// Self-clocked probing converges.
+	if _, ok := rep.Metrics["probe_self-clocking_conv_us"]; !ok {
+		t.Error("self-clocking probing did not converge")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rep := quick(t, "fig14")
+	// Under overload, μFAB must keep the 3-way replication bounded while
+	// the guarantee-agnostic schemes let it explode.
+	ufabBA := rep.Metrics["overload_"+metricKey(schemeUFAB, "ba_p99_ms", -1)]
+	pwcBA := rep.Metrics["overload_"+metricKey(schemePWC, "ba_p99_ms", -1)]
+	if ufabBA >= pwcBA {
+		t.Errorf("uFAB BA p99 %v ms ≥ PWC %v ms under overload", ufabBA, pwcBA)
+	}
+	// At the paper cadence every scheme's totals stay within the bound.
+	if v := rep.Metrics["paper_"+metricKey(schemeUFAB, "total_p99_ms", -1)]; v > 10 {
+		t.Errorf("uFAB paper-cadence total p99 %v ms exceeds the 10 ms bound", v)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	rep := quick(t, "abl")
+	if rep.Metrics["full_rtt_max_us"] >= rep.Metrics["nostage_rtt_max_us"] {
+		t.Errorf("two-stage admission did not reduce the incast tail: %v vs %v",
+			rep.Metrics["full_rtt_max_us"], rep.Metrics["nostage_rtt_max_us"])
+	}
+	if rep.Metrics["gp_rate_gbps"] < 1.3*rep.Metrics["static_rate_gbps"] {
+		t.Errorf("GP did not reclaim the idle pair's tokens: %v vs %v",
+			rep.Metrics["gp_rate_gbps"], rep.Metrics["static_rate_gbps"])
+	}
+	if rep.Metrics["migration_worst_gbps"] <= rep.Metrics["pinned_worst_gbps"] {
+		t.Errorf("migration did not rescue the worst flow: %v vs %v",
+			rep.Metrics["migration_worst_gbps"], rep.Metrics["pinned_worst_gbps"])
+	}
+	// Probing overhead grows as L_w shrinks.
+	if rep.Metrics["lw1024_overhead_pct"] <= rep.Metrics["lw16384_overhead_pct"] {
+		t.Error("L_w sweep shows no overhead gradient")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Find("fig4").Run(Options{Quick: true, Seed: 9})
+	b := Find("fig4").Run(Options{Quick: true, Seed: 9})
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Fatalf("metric %s differs across identical runs: %v vs %v", k, v, b.Metrics[k])
+		}
+	}
+}

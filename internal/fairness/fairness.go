@@ -1,0 +1,137 @@
+// Package fairness implements the theoretical machinery of Appendix C:
+// weighted α-fair allocations over a resource/path incidence structure
+// (Eqns 4–5) and the discrete dual-control recursion (Eqns 6–7) whose
+// equilibrium is the α-fair optimum. The package exists to validate the
+// paper's convergence claims numerically — the μFAB edge uses the α→∞
+// (weighted max-min) corner of this family, computed per-link from
+// telemetry rather than iteratively.
+package fairness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is the incidence structure of Appendix C.1: resources (links)
+// with capacities, and paths (flows) with weights, where Routes[j] lists
+// the resources path j uses.
+type Network struct {
+	// Capacity[i] is resource i's capacity C_i.
+	Capacity []float64
+	// Weight[j] is path j's weight w_j.
+	Weight []float64
+	// Routes[j] lists the resource indices used by path j.
+	Routes [][]int
+}
+
+// Validate checks the structure.
+func (n *Network) Validate() error {
+	for j, route := range n.Routes {
+		if len(route) == 0 {
+			return fmt.Errorf("fairness: path %d uses no resources", j)
+		}
+		for _, i := range route {
+			if i < 0 || i >= len(n.Capacity) {
+				return fmt.Errorf("fairness: path %d references resource %d", j, i)
+			}
+		}
+	}
+	if len(n.Weight) != len(n.Routes) {
+		return fmt.Errorf("fairness: %d weights for %d paths", len(n.Weight), len(n.Routes))
+	}
+	return nil
+}
+
+// Rates computes the sending rates (Eqn 5) from per-resource link rates R:
+//
+//	x_j = w_j · (Σ_{i∈route(j)} R_i^{-α})^{-1/α}
+//
+// As α→∞ this approaches x_j = w_j · min_i R_i (weighted max-min); α=1 is
+// weighted proportional fairness.
+func (n *Network) Rates(R []float64, alpha float64) []float64 {
+	x := make([]float64, len(n.Routes))
+	for j, route := range n.Routes {
+		sum := 0.0
+		for _, i := range route {
+			sum += math.Pow(R[i], -alpha)
+		}
+		x[j] = n.Weight[j] * math.Pow(sum, -1/alpha)
+	}
+	return x
+}
+
+// Loads returns y = A·x, the per-resource load.
+func (n *Network) Loads(x []float64) []float64 {
+	y := make([]float64, len(n.Capacity))
+	for j, route := range n.Routes {
+		for _, i := range route {
+			y[i] += x[j]
+		}
+	}
+	return y
+}
+
+// DualStep advances the link rates by one round of the recursion (Eqn 7)
+// with gain κ (κ=1 is the plain recursion; Appendix C.3 requires the
+// per-RTT gain below π/2 for stability):
+//
+//	R_i(n+1) = R_i(n) · (C_i / y_i(n))^κ
+//
+// Resources with zero load keep their rate.
+func (n *Network) DualStep(R []float64, alpha, kappa float64) []float64 {
+	y := n.Loads(n.Rates(R, alpha))
+	next := make([]float64, len(R))
+	for i := range R {
+		if y[i] <= 0 {
+			next[i] = R[i]
+			continue
+		}
+		next[i] = R[i] * math.Pow(n.Capacity[i]/y[i], kappa)
+	}
+	return next
+}
+
+// Equilibrium iterates DualStep until the per-resource load mismatch is
+// within tol of capacity (or maxIters is hit), returning the final link
+// rates, the per-path rates, and the number of iterations used (-1 when it
+// did not converge). This reproduces Fig 19b's "dual control" dynamics.
+func (n *Network) Equilibrium(alpha, kappa, tol float64, maxIters int) (R, x []float64, iters int) {
+	R = make([]float64, len(n.Capacity))
+	for i := range R {
+		R[i] = n.Capacity[i]
+	}
+	for it := 0; it < maxIters; it++ {
+		x = n.Rates(R, alpha)
+		y := n.Loads(x)
+		done := true
+		for i := range y {
+			if y[i] == 0 {
+				continue
+			}
+			if math.Abs(y[i]-n.Capacity[i]) > tol*n.Capacity[i] {
+				done = false
+				break
+			}
+		}
+		if done {
+			return R, x, it
+		}
+		R = n.DualStep(R, alpha, kappa)
+	}
+	return R, n.Rates(R, alpha), -1
+}
+
+// Objective evaluates the α-fair utility Σ w_j/(1-α)·(x_j/w_j)^{1-α}
+// (Eqn 4), with the α=1 limit Σ w_j·log(x_j/w_j).
+func (n *Network) Objective(x []float64, alpha float64) float64 {
+	sum := 0.0
+	for j := range x {
+		r := x[j] / n.Weight[j]
+		if alpha == 1 {
+			sum += n.Weight[j] * math.Log(r)
+		} else {
+			sum += n.Weight[j] / (1 - alpha) * math.Pow(r, 1-alpha)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,187 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// singleLink: three weighted flows on one resource.
+func singleLink() *Network {
+	return &Network{
+		Capacity: []float64{10},
+		Weight:   []float64{1, 2, 5},
+		Routes:   [][]int{{0}, {0}, {0}},
+	}
+}
+
+// linear: the classic 2-resource line network — flow 0 crosses both
+// resources, flows 1 and 2 use one each.
+func linear() *Network {
+	return &Network{
+		Capacity: []float64{10, 4},
+		Weight:   []float64{1, 1, 1},
+		Routes:   [][]int{{0, 1}, {0}, {1}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := singleLink().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Network{Capacity: []float64{1}, Weight: []float64{1}, Routes: [][]int{{}}}
+	if bad.Validate() == nil {
+		t.Fatal("empty route accepted")
+	}
+	bad2 := &Network{Capacity: []float64{1}, Weight: []float64{1}, Routes: [][]int{{7}}}
+	if bad2.Validate() == nil {
+		t.Fatal("dangling resource accepted")
+	}
+}
+
+func TestSingleLinkProportional(t *testing.T) {
+	// On one link every fairness criterion gives weighted sharing.
+	for _, alpha := range []float64{1, 2, 16} {
+		_, x, iters := singleLink().Equilibrium(alpha, 0.5, 1e-6, 10000)
+		if iters < 0 {
+			t.Fatalf("α=%v did not converge", alpha)
+		}
+		want := []float64{1.25, 2.5, 6.25}
+		for j := range want {
+			if math.Abs(x[j]-want[j]) > 0.01 {
+				t.Errorf("α=%v: x[%d]=%v, want %v", alpha, j, x[j], want[j])
+			}
+		}
+	}
+}
+
+func TestMaxMinLimit(t *testing.T) {
+	// α→∞ on the line network gives max-min: x0=x2=2 (bottleneck at the
+	// 4-capacity link), x1=8.
+	_, x, iters := linear().Equilibrium(24, 0.4, 1e-4, 50000)
+	if iters < 0 {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(x[0]-2) > 0.1 || math.Abs(x[2]-2) > 0.1 {
+		t.Errorf("max-min bottleneck rates: %v", x)
+	}
+	if math.Abs(x[1]-8) > 0.1 {
+		t.Errorf("max-min spare: x1=%v, want 8", x[1])
+	}
+}
+
+func TestProportionalFairnessFavorsShortPaths(t *testing.T) {
+	// α=1 on the line network: the 2-hop flow gets less than max-min
+	// (proportional fairness trades its rate for efficiency).
+	_, x1, it1 := linear().Equilibrium(1, 0.4, 1e-5, 50000)
+	if it1 < 0 {
+		t.Fatal("α=1 did not converge")
+	}
+	_, xInf, itInf := linear().Equilibrium(24, 0.4, 1e-4, 50000)
+	if itInf < 0 {
+		t.Fatal("α→∞ did not converge")
+	}
+	if x1[0] >= xInf[0] {
+		t.Errorf("2-hop flow: proportional %v should be below max-min %v", x1[0], xInf[0])
+	}
+	// Total throughput is higher under proportional fairness.
+	if x1[0]+x1[1]+x1[2] <= xInf[0]+xInf[1]+xInf[2] {
+		t.Error("proportional fairness did not improve efficiency")
+	}
+}
+
+func TestObjectiveIncreasesTowardEquilibrium(t *testing.T) {
+	n := linear()
+	alpha := 2.0
+	R := []float64{10, 4}
+	start := n.Objective(n.feasible(n.Rates(R, alpha)), alpha)
+	_, x, iters := n.Equilibrium(alpha, 0.4, 1e-5, 50000)
+	if iters < 0 {
+		t.Fatal("no convergence")
+	}
+	if got := n.Objective(x, alpha); got < start {
+		t.Errorf("objective decreased: %v → %v", start, got)
+	}
+}
+
+// feasible scales rates down uniformly until no capacity is violated, so
+// objectives are compared between feasible points.
+func (n *Network) feasible(x []float64) []float64 {
+	y := n.Loads(x)
+	worst := 1.0
+	for i := range y {
+		if y[i] > n.Capacity[i] {
+			if r := n.Capacity[i] / y[i]; r < worst {
+				worst = r
+			}
+		}
+	}
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = x[j] * worst
+	}
+	return out
+}
+
+func TestGainIndependentEquilibrium(t *testing.T) {
+	// Appendix C.2: the equilibrium of the recursion is the α-fair
+	// optimum regardless of the adaptation gain; the gain only changes
+	// how fast (and, with delays, whether) it is reached.
+	n := linear()
+	_, xSlow, itSlow := n.Equilibrium(8, 0.1, 1e-4, 60000)
+	_, xFast, itFast := n.Equilibrium(8, 0.8, 1e-4, 60000)
+	if itSlow < 0 || itFast < 0 {
+		t.Fatalf("convergence failed: slow=%d fast=%d", itSlow, itFast)
+	}
+	for j := range xSlow {
+		if math.Abs(xSlow[j]-xFast[j]) > 0.05*xSlow[j] {
+			t.Errorf("equilibria differ with gain: %v vs %v", xSlow, xFast)
+		}
+	}
+	if itFast >= itSlow {
+		t.Errorf("higher gain was not faster: %d vs %d iterations", itFast, itSlow)
+	}
+}
+
+func TestDualStepZeroLoad(t *testing.T) {
+	n := &Network{
+		Capacity: []float64{10, 5},
+		Weight:   []float64{0},
+		Routes:   [][]int{{0}},
+	}
+	R := []float64{10, 5}
+	next := n.DualStep(R, 2, 0.5)
+	if next[1] != 5 {
+		t.Errorf("unloaded resource changed rate: %v", next[1])
+	}
+}
+
+// Property: at any equilibrium the allocation is feasible and saturates
+// every loaded resource (complementary slackness).
+func TestEquilibriumFeasibleProperty(t *testing.T) {
+	f := func(capRaw [3]uint8, wRaw [3]uint8) bool {
+		n := &Network{
+			Capacity: []float64{float64(capRaw[0]%20) + 1, float64(capRaw[1]%20) + 1},
+			Weight: []float64{float64(wRaw[0]%5) + 1, float64(wRaw[1]%5) + 1,
+				float64(wRaw[2]%5) + 1},
+			Routes: [][]int{{0, 1}, {0}, {1}},
+		}
+		_, x, iters := n.Equilibrium(4, 0.4, 1e-4, 60000)
+		if iters < 0 {
+			return true // a handful of stiff instances may be slow; skip
+		}
+		y := n.Loads(x)
+		for i := range y {
+			if y[i] > n.Capacity[i]*1.01 {
+				return false
+			}
+			if y[i] < n.Capacity[i]*0.98 {
+				return false // every resource is used by some path here
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Package flowsrc defines the traffic-source abstraction shared by every
+// transport in the repository (μFAB-E and the baseline schemes): a demand
+// is a byte buffer the workload generators and application models push
+// into and the transport drains as its admission control permits.
+package flowsrc
+
+import "ufab/internal/sim"
+
+// Source is the traffic source a VM-pair drains. Implementations must
+// call the wired kick function (see Kicker) when Pending transitions from
+// zero so the transport's scheduler wakes up.
+type Source interface {
+	// Pending returns the bytes currently available to send.
+	Pending() int64
+	// Consume removes n bytes from the demand (n ≤ Pending()).
+	Consume(n int64)
+}
+
+// DeliveryObserver is optionally implemented by Sources that track
+// end-to-end completion (e.g. message workloads measuring FCT). Delivered
+// is invoked when bytes are acknowledged by the receiver.
+type DeliveryObserver interface {
+	Delivered(n int64, now sim.Time)
+}
+
+// Requeuer is optionally implemented by Sources that can take lost bytes
+// back for retransmission; without it, lost inflight bytes are forgotten.
+type Requeuer interface{ Requeue(n int64) }
+
+// Kicker is implemented by Sources that accept a wake-up hook from the
+// transport.
+type Kicker interface{ SetKick(func()) }
+
+// Buffer is the basic Source: a byte buffer with a wake-up hook. The zero
+// value is usable once the transport wires the kick function.
+type Buffer struct {
+	pending int64
+	kick    func()
+}
+
+// Add makes n more bytes available and wakes the scheduler.
+func (b *Buffer) Add(n int64) {
+	if n <= 0 {
+		return
+	}
+	b.pending += n
+	if b.kick != nil {
+		b.kick()
+	}
+}
+
+// Pending implements Source.
+func (b *Buffer) Pending() int64 { return b.pending }
+
+// Consume implements Source.
+func (b *Buffer) Consume(n int64) {
+	if n > b.pending {
+		panic("flowsrc: Consume beyond Pending")
+	}
+	b.pending -= n
+}
+
+// Requeue returns n lost bytes to the demand (retransmission after packet
+// loss). It does not kick: the caller reschedules.
+func (b *Buffer) Requeue(n int64) { b.pending += n }
+
+// SetKick implements Kicker.
+func (b *Buffer) SetKick(f func()) { b.kick = f }

@@ -1,0 +1,91 @@
+package flowsrc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferBasics(t *testing.T) {
+	var b Buffer
+	if b.Pending() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	b.Add(100)
+	if b.Pending() != 100 {
+		t.Fatalf("Pending = %d", b.Pending())
+	}
+	b.Consume(60)
+	if b.Pending() != 40 {
+		t.Fatalf("Pending = %d after Consume", b.Pending())
+	}
+	b.Requeue(10)
+	if b.Pending() != 50 {
+		t.Fatalf("Pending = %d after Requeue", b.Pending())
+	}
+}
+
+func TestBufferKick(t *testing.T) {
+	var b Buffer
+	kicks := 0
+	b.SetKick(func() { kicks++ })
+	b.Add(10)
+	b.Add(5)
+	if kicks != 2 {
+		t.Fatalf("kicks = %d", kicks)
+	}
+	// Non-positive adds are ignored and do not kick.
+	b.Add(0)
+	b.Add(-3)
+	if kicks != 2 || b.Pending() != 15 {
+		t.Fatalf("kicks=%d pending=%d after no-op adds", kicks, b.Pending())
+	}
+	// Requeue does not kick (the caller reschedules).
+	b.Consume(15)
+	b.Requeue(7)
+	if kicks != 2 {
+		t.Fatalf("Requeue kicked")
+	}
+}
+
+func TestBufferOverConsumePanics(t *testing.T) {
+	var b Buffer
+	b.Add(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-Consume did not panic")
+		}
+	}()
+	b.Consume(6)
+}
+
+// Property: Pending always equals adds − consumes + requeues and never
+// goes negative under valid operation sequences.
+func TestBufferAccountingProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		var b Buffer
+		var expect int64
+		for _, op := range ops {
+			n := int64(op)
+			if n >= 0 {
+				b.Add(n)
+				if n > 0 {
+					expect += n
+				}
+			} else {
+				take := -n
+				if take > b.Pending() {
+					take = b.Pending()
+				}
+				b.Consume(take)
+				expect -= take
+			}
+			if b.Pending() != expect || expect < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

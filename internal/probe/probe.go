@@ -1,0 +1,320 @@
+// Package probe implements the μFAB probe/response wire format of
+// Appendix G. Probes are the only coordination channel between the active
+// edge (μFAB-E) and the informative core (μFAB-C): the source edge inserts
+// its VM-pair's bandwidth token φ and per-link sending window w; every
+// switch on the path appends an INT hop record carrying the link's total
+// sending window W_l, total token Φ_l, TX rate tx_l, queue size q_l, and
+// capacity C_l; the destination edge echoes everything back in a response
+// together with its local minimum-bandwidth token.
+//
+// The encoding follows the paper's field widths (type 4 b, nHop 4 b,
+// φ 24 b, and 64-bit hop records of W 16 b | Φ 16 b | tx 16 b | q 12 b |
+// C 4 b). Quantization units are chosen so the 16/12-bit fields cover
+// data-center magnitudes; Encode→Decode round-trips are exact up to those
+// units (see the package tests). A small simulation preamble (VM-pair id,
+// path id, sequence number, timestamp, sender window, and the receiver
+// token) carries the identifiers a real deployment would take from the
+// outer Ethernet/IP/SR headers.
+package probe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind is the probe packet type from the 4-bit type field.
+type Kind uint8
+
+// Probe packet types. Finish probes tell switches a VM-pair has gone
+// inactive so they can deduct its φ and w from Φ_l and W_l (§3.6).
+const (
+	KindProbe    Kind = 1
+	KindResponse Kind = 2
+	KindFailure  Kind = 4
+	KindFinish   Kind = 8
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindProbe:
+		return "probe"
+	case KindResponse:
+		return "response"
+	case KindFailure:
+		return "failure"
+	case KindFinish:
+		return "finish"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MaxHops is the largest number of INT hop records a probe can carry,
+// bounded by the 4-bit nHop field.
+const MaxHops = 15
+
+// Quantization units for the INT fields.
+const (
+	// WindowUnit quantizes sending windows (w, W_l) in bytes: 16 bits ×
+	// 256 B covers 16 MiB, far above 3·BDP of any DCN path, while a
+	// single-MTU window still encodes without vanishing.
+	WindowUnit = 256
+	// QueueUnit quantizes queue sizes in bytes: 12 bits × 64 B covers
+	// 256 KiB, beyond the shallow-buffer regime μFAB keeps switches in.
+	QueueUnit = 64
+	// TxUnit quantizes TX rates in bits/s: 16 bits × 2 Mbps covers
+	// 131 Gbps.
+	TxUnit = 2e6
+	// PhiUnit quantizes per-VM-pair tokens φ (24-bit field) in
+	// millitokens: Guarantee Partitioning yields fractional tokens.
+	PhiUnit = 1e-3
+	// TotalPhiUnit quantizes the per-link total Φ_l (16-bit field) in
+	// decitokens: 6553 tokens cover a 655 Gbps subscription at
+	// B_u = 100 Mbps.
+	TotalPhiUnit = 1e-1
+)
+
+// speedClasses maps the 4-bit C_l field to port speeds in bits/s.
+var speedClasses = [...]float64{
+	0, 1e9, 2.5e9, 5e9, 10e9, 25e9, 40e9, 50e9, 100e9, 200e9, 400e9, 800e9,
+}
+
+// EncodeSpeedClass returns the 4-bit class whose speed is closest to the
+// given capacity in bits/s.
+func EncodeSpeedClass(bps float64) uint8 {
+	best, bestDiff := 0, -1.0
+	for i, s := range speedClasses {
+		d := bps - s
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return uint8(best)
+}
+
+// DecodeSpeedClass returns the port speed in bits/s for a 4-bit class.
+func DecodeSpeedClass(class uint8) float64 {
+	if int(class) >= len(speedClasses) {
+		return 0
+	}
+	return speedClasses[class]
+}
+
+// Hop is one switch's INT record, in physical units.
+type Hop struct {
+	// TotalWindow is W_l: the sum of the sending windows of all active
+	// VM-pairs traversing the link, in bytes.
+	TotalWindow uint32
+	// TotalTokens is Φ_l: the total bandwidth token of all active
+	// VM-pairs on the link, in tokens (decitoken wire resolution).
+	TotalTokens float64
+	// TxRate is the link's measured output rate in bits/s.
+	TxRate float64
+	// Queue is the link's real-time egress queue size in bytes.
+	Queue uint32
+	// Capacity is the link's physical line rate in bits/s (a 4-bit
+	// speed class on the wire).
+	Capacity float64
+	// LinkID identifies the link in simulation (carried in the
+	// preamble-extended hop record; a hardware deployment derives it
+	// from the SR header instead).
+	LinkID int32
+}
+
+// Packet is a decoded probe or response.
+type Packet struct {
+	Kind Kind
+	// VMPair identifies the VM-pair the probe belongs to.
+	VMPair uint32
+	// PathID identifies which of the VM-pair's candidate underlay paths
+	// the probe traveled.
+	PathID uint16
+	// Seq is the probe sequence number, echoed in the response.
+	Seq uint32
+	// Phi is φ_{a→b}: the sender-assigned bandwidth token in tokens
+	// (24-bit millitoken wire resolution). In a response it is the
+	// receiver-admitted token (Appendix G).
+	Phi float64
+	// Window is w^u_{a→b}: the VM-pair's current sending window on this
+	// path in bytes.
+	Window uint32
+	// PeerPhi is the receiver-side admitted token in tokens, filled
+	// into the response by the destination edge so the source can take
+	// min(sender, receiver) per Guarantee Partitioning.
+	PeerPhi float64
+	// SentAt is the source timestamp in simulation picoseconds, echoed
+	// back for RTT measurement.
+	SentAt int64
+	// Hops holds one INT record per switch traversed, in path order.
+	Hops []Hop
+}
+
+const (
+	preambleLen = 1 + 4 + 2 + 4 + 3 + 2 + 4 + 8 // kind/nhop .. sentAt
+	hopLen      = 8 + 4                         // 64-bit record + link id
+	// HeaderOverhead models the outer Ethernet+IP+SR headers a real
+	// probe carries (Fig 22); it contributes to probe size accounting.
+	HeaderOverhead = 14 + 20 + 16
+)
+
+// WireSize returns the on-wire byte size of a probe carrying n hop
+// records, including the modeled outer headers.
+func WireSize(nHops int) int { return HeaderOverhead + preambleLen + nHops*hopLen }
+
+// Size returns the packet's current on-wire size.
+func (p *Packet) Size() int { return WireSize(len(p.Hops)) }
+
+// Errors returned by Decode and AppendHop.
+var (
+	ErrTruncated = errors.New("probe: buffer truncated")
+	ErrTooLong   = errors.New("probe: more than MaxHops hop records")
+	ErrBadKind   = errors.New("probe: unknown packet kind")
+)
+
+func clamp(v uint64, max uint64) uint64 {
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// quantize divides v by unit, rounding to nearest, clamped to max.
+func quantize(v float64, unit float64, max uint64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	return clamp(uint64(v/unit+0.5), max)
+}
+
+// Encode appends the packet's wire representation (without the modeled
+// outer headers) to dst and returns the extended slice.
+func (p *Packet) Encode(dst []byte) ([]byte, error) {
+	if len(p.Hops) > MaxHops {
+		return dst, ErrTooLong
+	}
+	switch p.Kind {
+	case KindProbe, KindResponse, KindFailure, KindFinish:
+	default:
+		return dst, ErrBadKind
+	}
+	var kindBits uint8
+	switch p.Kind {
+	case KindProbe:
+		kindBits = 1
+	case KindResponse:
+		kindBits = 2
+	case KindFailure:
+		kindBits = 4
+	case KindFinish:
+		kindBits = 8
+	}
+	dst = append(dst, kindBits<<4|uint8(len(p.Hops)))
+	dst = binary.BigEndian.AppendUint32(dst, p.VMPair)
+	dst = binary.BigEndian.AppendUint16(dst, p.PathID)
+	dst = binary.BigEndian.AppendUint32(dst, p.Seq)
+	phi := uint32(quantize(p.Phi, PhiUnit, 1<<24-1))
+	dst = append(dst, byte(phi>>16), byte(phi>>8), byte(phi))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(quantize(float64(p.Window), WindowUnit, 1<<16-1)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(quantize(p.PeerPhi, PhiUnit, 1<<32-1)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.SentAt))
+	for _, h := range p.Hops {
+		rec := uint64(quantize(float64(h.TotalWindow), WindowUnit, 1<<16-1)) << 48
+		rec |= quantize(h.TotalTokens, TotalPhiUnit, 1<<16-1) << 32
+		rec |= quantize(h.TxRate, TxUnit, 1<<16-1) << 16
+		rec |= quantize(float64(h.Queue), QueueUnit, 1<<12-1) << 4
+		rec |= uint64(EncodeSpeedClass(h.Capacity))
+		dst = binary.BigEndian.AppendUint64(dst, rec)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(h.LinkID))
+	}
+	return dst, nil
+}
+
+// Decode parses a wire representation produced by Encode. It returns the
+// number of bytes consumed.
+func Decode(buf []byte) (*Packet, int, error) {
+	if len(buf) < preambleLen {
+		return nil, 0, ErrTruncated
+	}
+	p := &Packet{}
+	switch buf[0] >> 4 {
+	case 1:
+		p.Kind = KindProbe
+	case 2:
+		p.Kind = KindResponse
+	case 4:
+		p.Kind = KindFailure
+	case 8:
+		p.Kind = KindFinish
+	default:
+		return nil, 0, ErrBadKind
+	}
+	nHops := int(buf[0] & 0xf)
+	p.VMPair = binary.BigEndian.Uint32(buf[1:])
+	p.PathID = binary.BigEndian.Uint16(buf[5:])
+	p.Seq = binary.BigEndian.Uint32(buf[7:])
+	p.Phi = float64(uint32(buf[11])<<16|uint32(buf[12])<<8|uint32(buf[13])) * PhiUnit
+	p.Window = uint32(binary.BigEndian.Uint16(buf[14:])) * WindowUnit
+	p.PeerPhi = float64(binary.BigEndian.Uint32(buf[16:])) * PhiUnit
+	p.SentAt = int64(binary.BigEndian.Uint64(buf[20:]))
+	n := preambleLen
+	if len(buf) < n+nHops*hopLen {
+		return nil, 0, ErrTruncated
+	}
+	p.Hops = make([]Hop, nHops)
+	for i := 0; i < nHops; i++ {
+		rec := binary.BigEndian.Uint64(buf[n:])
+		p.Hops[i] = Hop{
+			TotalWindow: uint32(rec>>48) * WindowUnit,
+			TotalTokens: float64(rec>>32&0xffff) * TotalPhiUnit,
+			TxRate:      float64(rec>>16&0xffff) * TxUnit,
+			Queue:       uint32(rec>>4&0xfff) * QueueUnit,
+			Capacity:    DecodeSpeedClass(uint8(rec & 0xf)),
+			LinkID:      int32(binary.BigEndian.Uint32(buf[n+8:])),
+		}
+		n += hopLen
+	}
+	return p, n, nil
+}
+
+// AppendHop adds a switch's INT record; it fails once MaxHops is reached,
+// mirroring the fixed-width nHop field.
+func (p *Packet) AppendHop(h Hop) error {
+	if len(p.Hops) >= MaxHops {
+		return ErrTooLong
+	}
+	p.Hops = append(p.Hops, h)
+	return nil
+}
+
+// ToResponse converts a probe arriving at the destination edge into the
+// response the destination sends back: same telemetry, kind flipped, and
+// the receiver-admitted token attached.
+func (p *Packet) ToResponse(peerPhi float64) *Packet {
+	r := *p
+	r.Kind = KindResponse
+	r.PeerPhi = peerPhi
+	r.Hops = make([]Hop, len(p.Hops))
+	copy(r.Hops, p.Hops)
+	return &r
+}
+
+// BottleneckIndex returns the index of the hop that minimizes the
+// proportional share φ/Φ_l·C_l, i.e. the link that bounds r_{a→b} in
+// Eqn (1). It returns -1 for an empty hop list.
+func (p *Packet) BottleneckIndex() int {
+	best, bestShare := -1, 0.0
+	for i, h := range p.Hops {
+		phiTotal := h.TotalTokens
+		if phiTotal == 0 {
+			phiTotal = TotalPhiUnit
+		}
+		share := p.Phi / phiTotal * h.Capacity
+		if best == -1 || share < bestShare {
+			best, bestShare = i, share
+		}
+	}
+	return best
+}

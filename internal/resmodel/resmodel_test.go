@@ -1,0 +1,82 @@
+package resmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEdgeTableMatchesPaperTotals(t *testing.T) {
+	rows := EdgeTable(EdgeConfig{VMPairs: 8192, Tenants: 1024})
+	total := rows[len(rows)-1]
+	if total.Module != "Total" {
+		t.Fatal("last row is not Total")
+	}
+	// Paper Table 3 totals: LUT 7.6%, Registers 5.8%, BRAM 16.4%,
+	// URAM 9.5% — "<10% extra hardware resources" headline modulo BRAM.
+	within := func(got, want, tol float64, name string) {
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s total = %.1f%%, paper %.1f%%", name, got, want)
+		}
+	}
+	within(total.LUT, 7.6, 1.0, "LUT")
+	within(total.Registers, 5.8, 1.0, "Registers")
+	within(total.BRAM, 16.4, 3.0, "BRAM")
+	within(total.URAM, 9.5, 2.0, "URAM")
+}
+
+func TestEdgeTableScalesWithVMPairs(t *testing.T) {
+	small := EdgeTable(EdgeConfig{VMPairs: 1024, Tenants: 128})
+	big := EdgeTable(EdgeConfig{VMPairs: 16384, Tenants: 1024})
+	st, bt := small[len(small)-1], big[len(big)-1]
+	if bt.URAM <= st.URAM || bt.BRAM <= st.BRAM {
+		t.Errorf("memory must grow with VM-pairs: URAM %.1f→%.1f BRAM %.1f→%.1f",
+			st.URAM, bt.URAM, st.BRAM, bt.BRAM)
+	}
+	// Logic (LUT) is dominated by fixed modules.
+	if bt.LUT-st.LUT > 1 {
+		t.Errorf("LUT grew too much with scale: %.1f → %.1f", st.LUT, bt.LUT)
+	}
+}
+
+func TestEdgeTableDefaults(t *testing.T) {
+	if rows := EdgeTable(EdgeConfig{}); len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (5 modules + total)", len(rows))
+	}
+}
+
+func TestCoreTableMatchesPaper(t *testing.T) {
+	cols := CoreTable(nil)
+	if len(cols) != 3 {
+		t.Fatalf("cols = %d", len(cols))
+	}
+	// Paper Table 4 SRAM row: 17.29%, 17.71%, 18.75%.
+	wantSRAM := []float64{17.29, 17.71, 18.75}
+	for i, c := range cols {
+		if c.SRAM < wantSRAM[i]-0.7 || c.SRAM > wantSRAM[i]+0.7 {
+			t.Errorf("SRAM[%d] = %.2f%%, paper %.2f%%", i, c.SRAM, wantSRAM[i])
+		}
+		// Fixed rows stay flat.
+		if c.MatchCrossbar != 8.64 || c.TCAM != 6.25 || c.StatefulALUs != 47.92 {
+			t.Errorf("fixed rows changed at scale %d", c.VMPairs)
+		}
+		// Everything under 50% — "most types less than 20%" except ALUs.
+		if c.SRAM > 20 || c.PacketHeaderVec > 25 {
+			t.Errorf("scale %d exceeds the paper's envelope", c.VMPairs)
+		}
+	}
+	// SRAM strictly grows with scale.
+	if !(cols[0].SRAM < cols[1].SRAM && cols[1].SRAM < cols[2].SRAM) {
+		t.Error("SRAM not monotone in VM-pairs")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	et := FormatEdgeTable(EdgeTable(EdgeConfig{}))
+	if !strings.Contains(et, "Packet Scheduler") || !strings.Contains(et, "Total") {
+		t.Error("edge table formatting incomplete")
+	}
+	ct := FormatCoreTable(CoreTable(nil))
+	if !strings.Contains(ct, "SRAM") || !strings.Contains(ct, "20K") {
+		t.Error("core table formatting incomplete")
+	}
+}

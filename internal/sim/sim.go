@@ -1,0 +1,259 @@
+// Package sim provides the discrete-event simulation engine that underlies
+// every μFAB experiment. Time is kept in integer picoseconds so that packet
+// serialization delays on 100 Gbps links (5.12 ns for a 64-byte frame) are
+// exactly representable; the int64 horizon (~106 days) far exceeds any
+// experiment length.
+//
+// The engine is deliberately minimal: a binary-heap event queue with
+// deterministic FIFO tie-breaking for events scheduled at the same instant,
+// plus cancellable timers. Determinism matters because the evaluation
+// compares schemes on identical traffic traces.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in picoseconds since the start of the
+// simulation. The zero value is the simulation epoch.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration = Time
+
+// Common duration units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000 * Picosecond
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t)/int64(Nanosecond))
+	}
+}
+
+// DurationFromSeconds converts a float64 number of seconds to a Duration.
+func DurationFromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Event is a callback scheduled to run at a specific simulated time.
+type Event func()
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is invalid.
+type Handle struct {
+	item *eventItem
+}
+
+// Valid reports whether the handle refers to an event that was scheduled
+// and has not been cancelled. A handle stays valid after its event fires;
+// cancelling a fired event is a no-op.
+func (h Handle) Valid() bool { return h.item != nil }
+
+type eventItem struct {
+	at        Time
+	seq       uint64 // FIFO tie-break for equal times
+	fn        Event
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*eventItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use. Engine is not safe for concurrent use; all event callbacks
+// run on the goroutine that calls Run or Step.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Processed counts events executed so far; useful for runaway
+	// detection in tests.
+	Processed uint64
+}
+
+// New returns a new Engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it would silently reorder causality, which in a network
+// simulation always indicates a bug. Events at the same time run in FIFO
+// scheduling order.
+func (e *Engine) At(t Time, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	it := &eventItem{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, it)
+	return Handle{item: it}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn Event) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an already
+// fired or already cancelled event is a no-op. Cancel reports whether the
+// event was actually descheduled.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.item == nil || h.item.cancelled || h.item.index == -1 {
+		return false
+	}
+	h.item.cancelled = true
+	return true
+}
+
+// Stop makes Run return after the currently executing event (if any)
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		it := heap.Pop(&e.events).(*eventItem)
+		if it.cancelled {
+			continue
+		}
+		e.now = it.at
+		e.Processed++
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final simulated time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline (even if no event was pending there) and returns. Events
+// scheduled exactly at the deadline do run.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek.
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Every schedules fn to run periodically with the given period, starting at
+// now+period, until the returned stop function is called. A non-positive
+// period panics.
+func (e *Engine) Every(period Duration, fn Event) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+	return func() { stopped = true }
+}
+
+// PendingTimes returns the scheduled times of up to n pending events, in
+// no particular order. It is a diagnostic aid for finding event leaks.
+func (e *Engine) PendingTimes(n int) []Time {
+	if n > len(e.events) {
+		n = len(e.events)
+	}
+	out := make([]Time, 0, n)
+	for _, it := range e.events[:n] {
+		if !it.cancelled {
+			out = append(out, it.at)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package token implements μFAB's bandwidth-token machinery: the hose-model
+// Guarantee Partitioning of Appendix E (Algorithm 1), which splits a VF's
+// minimum-bandwidth tokens φ^a into per-VM-pair tokens φ_{a→b} under online
+// traffic patterns, and the multipath token split of Appendix F
+// (Algorithm 2).
+//
+// A VF with hose guarantee B^a_min owns φ^a = B^a_min / B_u tokens on each
+// side (sender and receiver), where B_u is the bandwidth one token
+// represents. The sender apportions tokens across its VM-pairs to fully
+// use its hose (conveying the assignment as a demand to the receiver); the
+// receiver arbitrates incoming demands with max-min fair sharing. A
+// VM-pair's effective token is the minimum of the two sides.
+//
+// Following the paper's design choice, a VM-pair whose measured demand is
+// below its fair share is still admitted at least the fair-share token
+// ("boost"), so it can ramp instantly when demand returns; the spare is
+// simultaneously redistributed, so at most double the VF's tokens are in
+// the network for one RTT (Appendix E).
+package token
+
+import (
+	"math"
+	"sort"
+)
+
+// Unbound marks a receiver response that does not constrain the sender
+// (the sender's requested token was below the receiver's fair share).
+const Unbound = math.MaxFloat64
+
+// Pair is one VM-pair's token state as seen by one side.
+type Pair struct {
+	// Demand is the pair's measured demand in tokens (actual TX rate
+	// divided by B_u). Negative means unbounded (backlogged).
+	Demand float64
+	// Requested is the sender-assigned token φ_s, the "demand" conveyed
+	// to the receiver.
+	Requested float64
+	// Admitted is the receiver's response φ_D: Unbound, or the max-min
+	// share granted.
+	Admitted float64
+}
+
+// Effective returns the pair's effective token: min(sender, receiver).
+func (p *Pair) Effective() float64 {
+	if p.Admitted == Unbound || p.Admitted <= 0 {
+		return p.Requested
+	}
+	return math.Min(p.Requested, p.Admitted)
+}
+
+// SenderAssign implements the sender side of Algorithm 1: it distributes
+// the VF's total tokens phiVF over the pairs, writing each pair's
+// Requested field.
+//
+// Three classes emerge: demand-bounded pairs (measured demand below the
+// equal share) are still admitted the equal share but donate their spare;
+// receiver-bounded pairs (a previous response admitted less than the
+// current share) are clipped to the admission; the remaining pairs split
+// everything left over.
+func SenderAssign(phiVF float64, pairs []*Pair) {
+	n := len(pairs)
+	if n == 0 || phiVF <= 0 {
+		return
+	}
+	equal := phiVF / float64(n)
+	spare := 0.0
+	var rest []*Pair
+	for _, p := range pairs {
+		p.Requested = 0
+		if p.Demand >= 0 && p.Demand < equal {
+			// Demand-bounded: boost to the fair share anyway so
+			// the pair can grab bandwidth back instantly, but
+			// donate the unused part.
+			spare += equal - p.Demand
+			p.Requested = equal
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	if len(rest) == 0 {
+		return
+	}
+	// Max-min over the remaining pairs against receiver admissions,
+	// ascending on last admitted token.
+	sort.SliceStable(rest, func(i, j int) bool {
+		ai, aj := rest[i].Admitted, rest[j].Admitted
+		if ai <= 0 {
+			ai = Unbound
+		}
+		if aj <= 0 {
+			aj = Unbound
+		}
+		return ai < aj
+	})
+	remainingTokens := equal*float64(len(rest)) + spare
+	remaining := len(rest)
+	for _, p := range rest {
+		share := remainingTokens / float64(remaining)
+		adm := p.Admitted
+		if adm <= 0 {
+			adm = Unbound
+		}
+		if adm < share {
+			// Receiver-bounded: take the admission, free the rest.
+			p.Requested = adm
+			remainingTokens -= adm
+		} else {
+			p.Requested = share
+			remainingTokens -= share
+		}
+		remaining--
+	}
+}
+
+// ReceiverAdmit implements the receiver side of Algorithm 1: max-min fair
+// arbitration of the incoming Requested tokens against the VF's receiver
+// hose phiVF, writing each pair's Admitted field (Unbound when the request
+// fits under the fair share).
+func ReceiverAdmit(phiVF float64, pairs []*Pair) {
+	n := len(pairs)
+	if n == 0 {
+		return
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return pairs[idx[a]].Requested < pairs[idx[b]].Requested
+	})
+	remainingTokens := phiVF
+	remaining := n
+	for _, i := range idx {
+		p := pairs[i]
+		share := remainingTokens / float64(remaining)
+		if p.Requested <= share {
+			p.Admitted = Unbound
+			remainingTokens -= p.Requested
+		} else {
+			p.Admitted = share
+			remainingTokens -= share
+		}
+		remaining--
+	}
+}
+
+// PathToken is one underlay path's token state for a multipath VM-pair.
+type PathToken struct {
+	// Demand is the path's measured demand in tokens (TX rate / B_u);
+	// negative means unbounded.
+	Demand float64
+	// Token is the assigned per-path token, written by MultipathAssign.
+	Token float64
+}
+
+// MultipathAssign implements Algorithm 2: it splits the VM-pair's token
+// phiPair equally over its underlay paths, boosts paths with insufficient
+// demand to the fair share (so demand growth is not throttled), and
+// redistributes the spare to the remaining paths.
+func MultipathAssign(phiPair float64, paths []*PathToken) {
+	n := len(paths)
+	if n == 0 {
+		return
+	}
+	equal := phiPair / float64(n)
+	spare := 0.0
+	unbounded := 0
+	for _, l := range paths {
+		l.Token = 0
+		if l.Demand >= 0 && l.Demand < equal {
+			spare += equal - l.Demand
+			l.Token = equal // boost demand growth
+		} else {
+			unbounded++
+		}
+	}
+	if unbounded == 0 {
+		return
+	}
+	extra := spare / float64(unbounded)
+	for _, l := range paths {
+		if l.Token == 0 {
+			l.Token = equal + extra
+		}
+	}
+}
+
+// TokensFor converts a bandwidth guarantee in bits/s into tokens given the
+// per-token bandwidth B_u in bits/s.
+func TokensFor(guaranteeBps, buBps float64) float64 { return guaranteeBps / buBps }

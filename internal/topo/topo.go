@@ -1,0 +1,278 @@
+// Package topo models data center network topologies as directed graphs of
+// nodes (hosts and switches) and directional links, and enumerates the
+// equal-cost underlay paths that μFAB-E selects among.
+//
+// Builders are provided for the three topologies the paper evaluates on:
+// the Fig-10 testbed (2 pods, 8 servers, 10 switches), the Fig-5 Case-2
+// two-tier network (2 ToRs, 3 aggregation switches), and a 3-tier Clos with
+// configurable oversubscription standing in for the 512-server NS3 FatTree.
+package topo
+
+import (
+	"fmt"
+
+	"ufab/internal/sim"
+)
+
+// NodeID identifies a node within a Graph.
+type NodeID int32
+
+// LinkID identifies a directional link within a Graph.
+type LinkID int32
+
+// NoLink is the invalid LinkID.
+const NoLink LinkID = -1
+
+// NodeKind distinguishes hosts (traffic endpoints) from switches.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	Host NodeKind = iota
+	Switch
+)
+
+func (k NodeKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// Tier labels a node's layer in a Clos fabric; hosts are tier 0.
+type Tier uint8
+
+// Clos tiers.
+const (
+	TierHost Tier = iota
+	TierToR
+	TierAgg
+	TierCore
+)
+
+// Node is a vertex in the topology graph.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Tier Tier
+	Name string
+	// Out lists the outgoing links, in insertion order.
+	Out []LinkID
+}
+
+// Link is a directional edge. Duplex connections are modeled as two Links
+// that reference each other through Reverse.
+type Link struct {
+	ID       LinkID
+	Src, Dst NodeID
+	// Capacity is the physical line rate in bits per second.
+	Capacity float64
+	// PropDelay is the one-way propagation delay.
+	PropDelay sim.Duration
+	// Reverse is the link carrying traffic in the opposite direction.
+	Reverse LinkID
+}
+
+// Path is an ordered sequence of link IDs from a source node to a
+// destination node.
+type Path []LinkID
+
+// Graph holds the nodes and links of a topology. The zero value is an empty
+// graph ready for use.
+type Graph struct {
+	Nodes []Node
+	Links []Link
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, tier Tier, name string) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Tier: tier, Name: name})
+	return id
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return &g.Nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) *Link { return &g.Links[id] }
+
+// AddDuplexLink connects a and b with a pair of opposite-direction links of
+// the given capacity (bits/s) and one-way propagation delay, returning the
+// a→b link ID and the b→a link ID.
+func (g *Graph) AddDuplexLink(a, b NodeID, capacity float64, prop sim.Duration) (ab, ba LinkID) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("topo: non-positive capacity %v", capacity))
+	}
+	ab = LinkID(len(g.Links))
+	ba = ab + 1
+	g.Links = append(g.Links,
+		Link{ID: ab, Src: a, Dst: b, Capacity: capacity, PropDelay: prop, Reverse: ba},
+		Link{ID: ba, Src: b, Dst: a, Capacity: capacity, PropDelay: prop, Reverse: ab},
+	)
+	g.Nodes[a].Out = append(g.Nodes[a].Out, ab)
+	g.Nodes[b].Out = append(g.Nodes[b].Out, ba)
+	return ab, ba
+}
+
+// ReversePath returns the path from the destination back to the source,
+// traversing the reverse of each link in opposite order.
+func (g *Graph) ReversePath(p Path) Path {
+	r := make(Path, len(p))
+	for i, l := range p {
+		r[len(p)-1-i] = g.Links[l].Reverse
+	}
+	return r
+}
+
+// PathDst returns the final node of a path.
+func (g *Graph) PathDst(p Path) NodeID { return g.Links[p[len(p)-1]].Dst }
+
+// PathSrc returns the first node of a path.
+func (g *Graph) PathSrc(p Path) NodeID { return g.Links[p[0]].Src }
+
+// BaseRTT returns the round-trip propagation plus per-hop serialization
+// delay of one MTU-sized packet along the path and back, which is the
+// baseRTT T_{a→b} μFAB uses (the RTT without queuing).
+func (g *Graph) BaseRTT(p Path, mtu int) sim.Duration {
+	var d sim.Duration
+	for _, l := range p {
+		lk := &g.Links[l]
+		d += lk.PropDelay + SerializationDelay(mtu, lk.Capacity)
+	}
+	return 2 * d
+}
+
+// SerializationDelay returns the time to put size bytes on a wire of the
+// given capacity in bits per second.
+func SerializationDelay(size int, capacity float64) sim.Duration {
+	return sim.Duration(float64(size*8) / capacity * float64(sim.Second))
+}
+
+// MinCapacity returns the smallest link capacity along the path.
+func (g *Graph) MinCapacity(p Path) float64 {
+	min := g.Links[p[0]].Capacity
+	for _, l := range p[1:] {
+		if c := g.Links[l].Capacity; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Validate checks structural invariants: link endpoints are in range,
+// Reverse pointers are symmetric, and Out lists are consistent.
+func (g *Graph) Validate() error {
+	for _, l := range g.Links {
+		if int(l.Src) >= len(g.Nodes) || int(l.Dst) >= len(g.Nodes) {
+			return fmt.Errorf("link %d endpoints out of range", l.ID)
+		}
+		if l.Reverse != NoLink {
+			r := g.Links[l.Reverse]
+			if r.Reverse != l.ID || r.Src != l.Dst || r.Dst != l.Src {
+				return fmt.Errorf("link %d reverse %d not symmetric", l.ID, l.Reverse)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, lid := range n.Out {
+			if g.Links[lid].Src != n.ID {
+				return fmt.Errorf("node %d lists link %d whose src is %d", n.ID, lid, g.Links[lid].Src)
+			}
+		}
+	}
+	return nil
+}
+
+// Paths enumerates up to maxPaths shortest (hop-count) paths from src to
+// dst, in a deterministic order. All returned paths have equal length, so
+// in Clos fabrics they are exactly the ECMP-equivalent paths. maxPaths ≤ 0
+// means no limit.
+func (g *Graph) Paths(src, dst NodeID, maxPaths int) []Path {
+	if src == dst {
+		return nil
+	}
+	// BFS from src computing hop distance.
+	const inf = int32(1) << 30
+	dist := make([]int32, len(g.Nodes))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, lid := range g.Nodes[n].Out {
+			m := g.Links[lid].Dst
+			if dist[m] == inf {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return nil
+	}
+	// DFS over the shortest-path DAG, collecting link sequences.
+	var paths []Path
+	cur := make(Path, 0, dist[dst])
+	var dfs func(n NodeID)
+	dfs = func(n NodeID) {
+		if maxPaths > 0 && len(paths) >= maxPaths {
+			return
+		}
+		if n == dst {
+			p := make(Path, len(cur))
+			copy(p, cur)
+			paths = append(paths, p)
+			return
+		}
+		for _, lid := range g.Nodes[n].Out {
+			m := g.Links[lid].Dst
+			if dist[m] == dist[n]+1 && dist[m] <= dist[dst] {
+				cur = append(cur, lid)
+				dfs(m)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	dfs(src)
+	return paths
+}
+
+// Diameter returns the maximum over all host pairs of BaseRTT, i.e. the
+// network's T_max used in the 3·C·T_max inflight bound. It is computed by
+// BFS from every host; intended for setup, not per-packet use.
+func (g *Graph) Diameter(mtu int) sim.Duration {
+	var max sim.Duration
+	for _, n := range g.Nodes {
+		if n.Kind != Host {
+			continue
+		}
+		for _, m := range g.Nodes {
+			if m.Kind != Host || m.ID == n.ID {
+				continue
+			}
+			ps := g.Paths(n.ID, m.ID, 1)
+			if len(ps) == 0 {
+				continue
+			}
+			if rtt := g.BaseRTT(ps[0], mtu); rtt > max {
+				max = rtt
+			}
+		}
+	}
+	return max
+}
+
+// Hosts returns the IDs of all host nodes in insertion order.
+func (g *Graph) Hosts() []NodeID {
+	var hs []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == Host {
+			hs = append(hs, n.ID)
+		}
+	}
+	return hs
+}

@@ -1,0 +1,213 @@
+// Package ufabc implements μFAB-C, the informative-core agent that runs on
+// every programmable switch (§3.6, §4.2). For each egress link it
+// maintains two registers — the total bandwidth subscription Φ_l and the
+// total sending window W_l of all active VM-pairs — behind a two-bank
+// hashed active-VM-pair table, and stamps each passing probe with an INT
+// hop record carrying {W_l, Φ_l, tx_l, q_l, C_l}.
+//
+// VM-pairs announce themselves through their probes' φ and w fields;
+// finish probes deduct a departing VM-pair's contribution; a periodic
+// cleanup expires VM-pairs that went silent (§4.2 runs it every 10 s).
+// Φ_l is used against the *target* capacity C̄_l = η·C_l (η = 0.95) so a
+// 5% headroom absorbs transient bursts and table-collision under-counts.
+package ufabc
+
+import (
+	"ufab/internal/bloom"
+	"ufab/internal/dataplane"
+	"ufab/internal/probe"
+	"ufab/internal/sim"
+	"ufab/internal/topo"
+)
+
+// Config parameterizes a μFAB-C agent.
+type Config struct {
+	// TableSlotsPerBank sizes the active-VM-pair table (default 16384,
+	// supporting the paper's 20K VM-pairs at <5% omission).
+	TableSlotsPerBank int
+	// TargetUtilization is η: the fraction of physical capacity
+	// advertised as the target capacity C̄_l (default 0.95).
+	TargetUtilization float64
+	// CleanupPeriod is how often silent VM-pairs are expired (default
+	// 10 s per §4.2; experiments shorten it).
+	CleanupPeriod sim.Duration
+	// CleanupAge is how long a VM-pair may be silent before expiry
+	// (default = CleanupPeriod).
+	CleanupAge sim.Duration
+	// UseTimingFilter switches the active-pair structure to the
+	// rotating (timing Bloom filter) variant §3.6 suggests: expiry
+	// becomes an epoch swap instead of a timestamp scan, at the cost of
+	// a staleness bound of two cleanup periods.
+	UseTimingFilter bool
+}
+
+func (c *Config) setDefaults() {
+	if c.TableSlotsPerBank == 0 {
+		c.TableSlotsPerBank = 16384
+	}
+	if c.TargetUtilization == 0 {
+		c.TargetUtilization = 0.95
+	}
+	if c.CleanupPeriod == 0 {
+		c.CleanupPeriod = 10 * sim.Second
+	}
+	if c.CleanupAge == 0 {
+		c.CleanupAge = c.CleanupPeriod
+	}
+}
+
+// linkState is the per-egress-link register set. Exactly one of scan/rot
+// is non-nil, per Config.UseTimingFilter.
+type linkState struct {
+	scan *bloom.Table
+	rot  *bloom.Rotating
+	// phiMilli is Φ_l in millitokens; windowBytes is W_l in bytes.
+	phiMilli    int64
+	windowBytes int64
+}
+
+func (ls *linkState) update(key uint64, phi, w uint32, now int64) (int64, int64, bool) {
+	if ls.rot != nil {
+		return ls.rot.Update(key, phi, w, now)
+	}
+	return ls.scan.Update(key, phi, w, now)
+}
+
+func (ls *linkState) remove(key uint64) (int64, int64, bool) {
+	if ls.rot != nil {
+		return ls.rot.Remove(key)
+	}
+	return ls.scan.Remove(key)
+}
+
+func (ls *linkState) cleanup(cutoff int64) (int64, int64) {
+	if ls.rot != nil {
+		dPhi, dW, _ := ls.rot.Rotate()
+		return dPhi, dW
+	}
+	dPhi, dW, _ := ls.scan.Expire(cutoff)
+	return dPhi, dW
+}
+
+// Agent is a μFAB-C instance for one switch (or one host hypervisor, for
+// the partial-deployment mode of §6). It implements
+// dataplane.SwitchAgent.
+type Agent struct {
+	cfg   Config
+	links map[topo.LinkID]*linkState
+	// ProbesSeen counts probes processed (telemetry volume accounting).
+	ProbesSeen uint64
+}
+
+// New returns an agent with the given configuration.
+func New(cfg Config) *Agent {
+	cfg.setDefaults()
+	return &Agent{cfg: cfg, links: make(map[topo.LinkID]*linkState)}
+}
+
+// StartCleanup registers the periodic silent-quit cleanup on the engine
+// and returns a stop function.
+func (a *Agent) StartCleanup(eng *sim.Engine) (stop func()) {
+	return eng.Every(a.cfg.CleanupPeriod, func() {
+		cutoff := int64(eng.Now() - a.cfg.CleanupAge)
+		for _, ls := range a.links {
+			dPhi, dW := ls.cleanup(cutoff)
+			ls.phiMilli += dPhi
+			ls.windowBytes += dW
+		}
+	})
+}
+
+func (a *Agent) link(id topo.LinkID) *linkState {
+	ls := a.links[id]
+	if ls == nil {
+		ls = &linkState{}
+		if a.cfg.UseTimingFilter {
+			ls.rot = bloom.NewRotating(a.cfg.TableSlotsPerBank)
+		} else {
+			ls.scan = bloom.New(a.cfg.TableSlotsPerBank)
+		}
+		a.links[id] = ls
+	}
+	return ls
+}
+
+// Subscription returns the current Φ_l (tokens) and W_l (bytes) registers
+// for a link, for tests and experiment instrumentation.
+func (a *Agent) Subscription(id topo.LinkID) (phiTokens float64, windowBytes int64) {
+	ls := a.links[id]
+	if ls == nil {
+		return 0, 0
+	}
+	return float64(ls.phiMilli) * 1e-3, ls.windowBytes
+}
+
+// pairKey builds the table key from the probe identity. The switch
+// recognizes the VM-pair (§3.6), NOT the (pair, path) combination:
+// candidate paths of one pair share prefix links (always the host
+// uplink), and keying by pair keeps Φ_l idempotent when several candidate
+// probes of the same pair traverse the same link during a migration
+// evaluation. The cost is a transient under-count on a link both of a
+// pair's active paths share in the multipath mode of Appendix F, digested
+// by the 5% headroom like other register noise.
+func pairKey(p *probe.Packet) uint64 {
+	return uint64(p.VMPair)
+}
+
+// OnForward implements dataplane.SwitchAgent: it processes probe packets
+// at egress enqueue time, updating the link registers and appending the
+// INT hop record. Data, ACK and response packets pass through untouched
+// (responses only carry information back; §3.2 step 5).
+func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Time) {
+	if pkt.Kind != dataplane.Probe || len(pkt.Payload) == 0 {
+		return
+	}
+	p, _, err := probe.Decode(pkt.Payload)
+	if err != nil {
+		return // malformed probe: forward without touching registers
+	}
+	a.ProbesSeen++
+	ls := a.link(out.Link.ID)
+	key := pairKey(p)
+	switch p.Kind {
+	case probe.KindProbe:
+		phiMilli := uint32(p.Phi*1000 + 0.5)
+		dPhi, dW, _ := ls.update(key, phiMilli, p.Window, int64(now))
+		ls.phiMilli += dPhi
+		ls.windowBytes += dW
+	case probe.KindFinish:
+		dPhi, dW, _ := ls.remove(key)
+		ls.phiMilli += dPhi
+		ls.windowBytes += dW
+	default:
+		return
+	}
+	// Stamp the INT record against the *target* capacity.
+	err = p.AppendHop(probe.Hop{
+		TotalWindow: clampU32(ls.windowBytes),
+		TotalTokens: float64(ls.phiMilli) * 1e-3,
+		TxRate:      out.TxRate(now),
+		Queue:       uint32(out.QueueBytes()),
+		Capacity:    a.cfg.TargetUtilization * out.Capacity(),
+		LinkID:      int32(out.Link.ID),
+	})
+	if err != nil {
+		return // path longer than MaxHops: leave remaining hops unstamped
+	}
+	buf, err := p.Encode(pkt.Payload[:0])
+	if err != nil {
+		return
+	}
+	pkt.Payload = buf
+	pkt.Size = p.Size()
+}
+
+func clampU32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}

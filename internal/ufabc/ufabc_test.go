@@ -1,0 +1,254 @@
+package ufabc
+
+import (
+	"math"
+	"testing"
+
+	"ufab/internal/dataplane"
+	"ufab/internal/probe"
+	"ufab/internal/sim"
+	"ufab/internal/topo"
+)
+
+// testNet builds a 2-host star with a μFAB-C agent on the switch and
+// returns everything needed to push probes through it.
+func testNet(t *testing.T, cfg Config) (*sim.Engine, *dataplane.Network, *topo.Star, *Agent, topo.Path) {
+	t.Helper()
+	eng := sim.New()
+	st := topo.NewStar(2, topo.Gbps(10), sim.Microsecond)
+	net := dataplane.New(eng, st.Graph, dataplane.Config{})
+	ag := New(cfg)
+	net.SetSwitchAgent(st.Center, ag)
+	route := st.Graph.Paths(st.Hosts[0], st.Hosts[1], 1)[0]
+	return eng, net, st, ag, route
+}
+
+func sendProbe(net *dataplane.Network, route topo.Path, p *probe.Packet) {
+	buf, err := p.Encode(nil)
+	if err != nil {
+		panic(err)
+	}
+	net.Send(&dataplane.Packet{
+		Kind:    dataplane.Probe,
+		VMPair:  dataplane.VMPair(p.VMPair),
+		Size:    probe.WireSize(len(p.Hops)),
+		Route:   route,
+		Payload: buf,
+	})
+}
+
+func TestProbeAccumulatesRegisters(t *testing.T) {
+	eng, net, st, ag, route := testNet(t, Config{})
+	var got *probe.Packet
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {
+		p, _, err := probe.Decode(pkt.Payload)
+		if err != nil {
+			t.Errorf("decode at dst: %v", err)
+			return
+		}
+		got = p
+	}))
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, PathID: 0, Phi: 5, Window: 64 * 1024})
+	eng.Run()
+	if got == nil {
+		t.Fatal("probe not delivered")
+	}
+	if len(got.Hops) != 1 {
+		t.Fatalf("hops = %d, want 1 (switch egress)", len(got.Hops))
+	}
+	h := got.Hops[0]
+	if math.Abs(h.TotalTokens-5) > 0.11 {
+		t.Errorf("Φ = %v, want 5", h.TotalTokens)
+	}
+	if h.TotalWindow < 63*1024 || h.TotalWindow > 65*1024 {
+		t.Errorf("W = %d, want ≈64KiB", h.TotalWindow)
+	}
+	// Target capacity is η·10G = 9.5G, advertised via the nearest speed
+	// class (10G).
+	if h.Capacity != 10e9 {
+		t.Errorf("C = %v", h.Capacity)
+	}
+	phi, w := ag.Subscription(route[1])
+	if math.Abs(phi-5) > 1e-6 || w != 64*1024 {
+		t.Errorf("registers: Φ=%v W=%d", phi, w)
+	}
+}
+
+func TestMultipleVMPairsSum(t *testing.T) {
+	eng, net, st, ag, route := testNet(t, Config{})
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	for vm := uint32(1); vm <= 10; vm++ {
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: vm, Phi: 2, Window: 1024})
+	}
+	eng.Run()
+	phi, w := ag.Subscription(route[1])
+	if math.Abs(phi-20) > 1e-6 {
+		t.Errorf("Φ = %v, want 20", phi)
+	}
+	if w != 10240 {
+		t.Errorf("W = %d, want 10240", w)
+	}
+}
+
+func TestRepeatedProbeUpdatesNotDoubleCounts(t *testing.T) {
+	eng, net, st, ag, route := testNet(t, Config{})
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	for i := 0; i < 5; i++ {
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 5, Window: uint32(1024 * (i + 1))})
+		eng.Run()
+	}
+	phi, w := ag.Subscription(route[1])
+	if math.Abs(phi-5) > 1e-6 {
+		t.Errorf("Φ = %v, want 5 (no double count)", phi)
+	}
+	if w != 5120 {
+		t.Errorf("W = %d, want 5120 (latest window)", w)
+	}
+}
+
+func TestFinishProbeDeducts(t *testing.T) {
+	eng, net, st, ag, route := testNet(t, Config{})
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 5, Window: 1024})
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 2, Phi: 3, Window: 512})
+	eng.Run()
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindFinish, VMPair: 1, Phi: 5, Window: 1024})
+	eng.Run()
+	phi, w := ag.Subscription(route[1])
+	if math.Abs(phi-3) > 1e-6 || w != 512 {
+		t.Errorf("after finish: Φ=%v W=%d, want 3/512", phi, w)
+	}
+}
+
+func TestSilentQuitCleanup(t *testing.T) {
+	cfg := Config{CleanupPeriod: 10 * sim.Millisecond}
+	eng, net, st, ag, route := testNet(t, cfg)
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	stop := ag.StartCleanup(eng)
+	defer stop()
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 5, Window: 1000})
+	// Keep VM-pair 2 alive with periodic probes.
+	aliveStop := eng.Every(5*sim.Millisecond, func() {
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 2, Phi: 3, Window: 500})
+	})
+	eng.RunUntil(25 * sim.Millisecond)
+	aliveStop()
+	phi, _ := ag.Subscription(route[1])
+	if math.Abs(phi-3) > 1e-6 {
+		t.Errorf("after cleanup Φ = %v, want 3 (silent VM-pair expired)", phi)
+	}
+}
+
+func TestSilentQuitCleanupTimingFilter(t *testing.T) {
+	// The rotating variant expires a silent pair within two epochs.
+	cfg := Config{CleanupPeriod: 10 * sim.Millisecond, UseTimingFilter: true}
+	eng, net, st, ag, route := testNet(t, cfg)
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	stop := ag.StartCleanup(eng)
+	defer stop()
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 5, Window: 1024})
+	aliveStop := eng.Every(5*sim.Millisecond, func() {
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 2, Phi: 3, Window: 512})
+	})
+	eng.RunUntil(35 * sim.Millisecond)
+	aliveStop()
+	phi, _ := ag.Subscription(route[1])
+	if math.Abs(phi-3) > 1e-6 {
+		t.Errorf("after rotations Φ = %v, want 3 (silent VM-pair expired)", phi)
+	}
+}
+
+func TestTelemetryReflectsLoadAndQueue(t *testing.T) {
+	eng, net, st, _, route := testNet(t, Config{})
+	var last *probe.Packet
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {
+		if pkt.Kind == dataplane.Probe {
+			last, _, _ = probe.Decode(pkt.Payload)
+		}
+	}))
+	// Saturate the switch→host link with data from host 0, then probe.
+	var feed func()
+	feed = func() {
+		if eng.Now() > 100*sim.Microsecond {
+			return
+		}
+		net.Send(&dataplane.Packet{Kind: dataplane.Data, Size: 1500, Route: route})
+		eng.After(1200*sim.Nanosecond, feed) // 10 Gbps line rate
+	}
+	eng.At(0, feed)
+	eng.At(95*sim.Microsecond, func() {
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 9, Phi: 1, Window: 1})
+	})
+	eng.Run()
+	if last == nil {
+		t.Fatal("no probe delivered")
+	}
+	h := last.Hops[0]
+	if h.TxRate < 0.7*10e9 {
+		t.Errorf("probe tx rate = %v, want near line rate", h.TxRate)
+	}
+}
+
+func TestDataPacketsUntouched(t *testing.T) {
+	eng, net, st, ag, route := testNet(t, Config{})
+	var got *dataplane.Packet
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) { got = pkt }))
+	net.Send(&dataplane.Packet{Kind: dataplane.Data, Size: 1500, Route: route})
+	eng.Run()
+	if got == nil || got.Size != 1500 || got.Payload != nil {
+		t.Fatalf("data packet modified: %+v", got)
+	}
+	if phi, w := ag.Subscription(route[1]); phi != 0 || w != 0 {
+		t.Error("data packet affected registers")
+	}
+	if ag.ProbesSeen != 0 {
+		t.Error("data packet counted as probe")
+	}
+}
+
+func TestMalformedProbeIgnored(t *testing.T) {
+	eng, net, st, ag, route := testNet(t, Config{})
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	net.Send(&dataplane.Packet{Kind: dataplane.Probe, Size: 10, Route: route, Payload: []byte{0xff, 0x01}})
+	eng.Run()
+	if phi, _ := ag.Subscription(route[1]); phi != 0 {
+		t.Error("malformed probe affected registers")
+	}
+}
+
+func TestProbeSizeGrowsPerHop(t *testing.T) {
+	// Across the testbed (host agent absent), a cross-pod probe gains
+	// one hop record per switch: 5 switches on a 6-link path.
+	eng := sim.New()
+	tb := topo.NewTestbed(topo.TestbedConfig{})
+	net := dataplane.New(eng, tb.Graph, dataplane.Config{})
+	for _, sw := range [][]topo.NodeID{tb.ToRs, tb.Aggs, tb.Cores} {
+		for _, id := range sw {
+			net.SetSwitchAgent(id, New(Config{}))
+		}
+	}
+	route := tb.Graph.Paths(tb.Servers[0], tb.Servers[4], 1)[0]
+	var got *probe.Packet
+	var gotSize int
+	net.SetHandler(tb.Servers[4], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {
+		got, _, _ = probe.Decode(pkt.Payload)
+		gotSize = pkt.Size
+	}))
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 1, Window: 1000})
+	eng.Run()
+	if got == nil {
+		t.Fatal("probe lost")
+	}
+	if len(got.Hops) != 5 {
+		t.Fatalf("hops = %d, want 5", len(got.Hops))
+	}
+	if gotSize != probe.WireSize(5) {
+		t.Errorf("packet size = %d, want %d", gotSize, probe.WireSize(5))
+	}
+	// Hop link IDs must follow the route's switch egress links.
+	for i, h := range got.Hops {
+		if topo.LinkID(h.LinkID) != route[i+1] {
+			t.Errorf("hop %d link = %d, want %d", i, h.LinkID, route[i+1])
+		}
+	}
+}

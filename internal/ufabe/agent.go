@@ -1,0 +1,1054 @@
+// Package ufabe implements μFAB-E, the active-edge agent (§3.3–§3.5,
+// §4.1). One Agent runs per host (per SmartNIC). It performs
+// hierarchical bandwidth allocation (Eqns 1–3), two-stage window-based
+// traffic admission, self-clocked probing, and accurate, oscillation-free
+// path migration, driven entirely by the INT telemetry μFAB-C piggybacks
+// onto probe responses. It also embeds the Guarantee Partitioning token
+// loop of Appendix E (sender assignment + receiver admission).
+package ufabe
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ufab/internal/dataplane"
+	"ufab/internal/flowsrc"
+	"ufab/internal/probe"
+	"ufab/internal/sim"
+	"ufab/internal/token"
+	"ufab/internal/topo"
+)
+
+// Config parameterizes an edge agent.
+type Config struct {
+	// BU is the bandwidth one token represents, bits/s (default 100 Mbps).
+	BU float64
+	// MTU is the data packet size in bytes (default 1500).
+	MTU int
+	// AckSize is the acknowledgment size in bytes (default 64).
+	AckSize int
+	// TargetUtilization is η, the fraction of physical capacity treated
+	// as the target C̄_l (default 0.95).
+	TargetUtilization float64
+	// ProbePayloadBytes is L_w: the bytes transmitted between
+	// self-clocked probes (default 4096, giving the ≤1.28% overhead
+	// bound of Fig 15b).
+	ProbePayloadBytes int64
+	// PeriodicProbeRTTs switches from self-clocked to periodic probing
+	// every n·baseRTT (Fig 18c). 0 keeps self-clocking.
+	PeriodicProbeRTTs int
+	// DisableTwoStage removes the two-stage admission burst bound — the
+	// μFAB′ variant of Figs 12 and 16.
+	DisableTwoStage bool
+	// ViolationRTTs is how many consecutive RTT-spaced unqualified
+	// observations trigger a migration (default 5, §3.5).
+	ViolationRTTs int
+	// FreezeMaxRTTs is N: after a migration, migrations freeze for a
+	// uniform-random [1,N] RTTs (default 10, Fig 18a/b).
+	FreezeMaxRTTs int
+	// BetterPathHold is how long a persistently better path must be
+	// observed before a work-conservation migration (default 30 s).
+	BetterPathHold sim.Duration
+	// CandidateProbeInterval is how often idle candidate paths are
+	// re-probed for the better-path trigger (default 1 s; negative
+	// disables).
+	CandidateProbeInterval sim.Duration
+	// ReorderFree delays data one baseRTT after each migration so the
+	// old path drains (§3.5 "avoiding reordering").
+	ReorderFree bool
+	// TokenPeriod is the Guarantee Partitioning update period (default
+	// 32 μs per §5.1; negative disables GP so pairs keep static tokens).
+	TokenPeriod sim.Duration
+	// IdleFinishAfter sends finish probes after this much idle time
+	// (default 200 μs) — deregistering idle VM-pairs promptly keeps the
+	// proportional shares of the remaining active pairs undiluted,
+	// which is what work conservation for bursty RPC traffic rests on.
+	IdleFinishAfter sim.Duration
+	// ProbeTimeoutRTTs detects probe loss after n·baseRTT (default 8,
+	// §4.1: latency is bounded by 4 baseRTTs, so 8 is safe).
+	ProbeTimeoutRTTs int
+	// Seed drives all randomized choices (initial path, freeze window).
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.BU == 0 {
+		c.BU = 100e6
+	}
+	if c.MTU == 0 {
+		c.MTU = 1500
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 64
+	}
+	if c.TargetUtilization == 0 {
+		c.TargetUtilization = 0.95
+	}
+	if c.ProbePayloadBytes == 0 {
+		c.ProbePayloadBytes = 4096
+	}
+	if c.ViolationRTTs == 0 {
+		c.ViolationRTTs = 5
+	}
+	if c.FreezeMaxRTTs == 0 {
+		c.FreezeMaxRTTs = 10
+	}
+	if c.BetterPathHold == 0 {
+		c.BetterPathHold = 30 * sim.Second
+	}
+	if c.CandidateProbeInterval == 0 {
+		c.CandidateProbeInterval = sim.Second
+	}
+	if c.TokenPeriod == 0 {
+		c.TokenPeriod = 32 * sim.Microsecond
+	}
+	if c.IdleFinishAfter == 0 {
+		c.IdleFinishAfter = 200 * sim.Microsecond
+	}
+	if c.ProbeTimeoutRTTs == 0 {
+		c.ProbeTimeoutRTTs = 8
+	}
+}
+
+// dataMeta tags data packets with the sender-side path index so the
+// acknowledgment can be attributed to the right path (a real stack reads
+// this from the SR header).
+type dataMeta struct {
+	path uint16
+}
+
+// ackMeta is the acknowledgment metadata a real stack would carry in the
+// transport header.
+type ackMeta struct {
+	bytes  int
+	sentAt sim.Time
+	path   uint16
+}
+
+// recvPair is the receiver-side record of an incoming VM-pair, used for
+// Guarantee Partitioning admission.
+type recvPair struct {
+	vf       int32
+	tok      token.Pair
+	lastSeen sim.Time
+}
+
+// PairConfig describes a new VM-pair for AddPair.
+type PairConfig struct {
+	ID dataplane.VMPair
+	// VF is the tenant VF id; negative means no VF (static token).
+	VF  int32
+	Dst topo.NodeID
+	// Routes are the candidate underlay paths (≥1). μFAB-E randomly
+	// picks the initial active path among them.
+	Routes []topo.Path
+	// Phi is the initial bandwidth token; under GP it is reassigned
+	// every TokenPeriod.
+	Phi float64
+	// Demand supplies the bytes to send; nil creates an idle pair.
+	Demand Demand
+}
+
+// Agent is the per-host μFAB-E instance. It implements dataplane.Handler
+// for its host.
+type Agent struct {
+	eng   *sim.Engine
+	net   *dataplane.Network
+	graph *topo.Graph
+	host  topo.NodeID
+	cfg   Config
+	rng   *rand.Rand
+
+	vfs   map[int32]*vfState
+	pairs map[dataplane.VMPair]*Pair
+	sched *wfq
+
+	nicNextFree sim.Time
+	sendPending bool
+	uplinkCap   float64
+
+	// Per-host migration freeze window (§3.5 "avoiding oscillations").
+	freezeUntil sim.Time
+
+	// Receiver side.
+	recvVFTokens map[int32]float64
+	recvPairs    map[dataplane.VMPair]*recvPair
+
+	// OnReceive, if set, observes data bytes arriving at this host
+	// (used by application models).
+	OnReceive func(vm dataplane.VMPair, bytes int, now sim.Time)
+
+	// Telemetry counters for overhead accounting (Fig 15b).
+	ProbesSent uint64
+	ProbeBytes uint64
+	DataBytes  uint64
+
+	tokenLoopStop func()
+}
+
+// New creates the agent for a host and installs it as the host's packet
+// handler. The host must have exactly one uplink.
+func New(eng *sim.Engine, net *dataplane.Network, host topo.NodeID, cfg Config) *Agent {
+	cfg.setDefaults()
+	g := net.G
+	if g.Node(host).Kind != topo.Host {
+		panic(fmt.Sprintf("ufabe: node %d is not a host", host))
+	}
+	if len(g.Node(host).Out) != 1 {
+		panic(fmt.Sprintf("ufabe: host %d has %d uplinks, want 1", host, len(g.Node(host).Out)))
+	}
+	a := &Agent{
+		eng:          eng,
+		net:          net,
+		graph:        g,
+		host:         host,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed + int64(host)*0x9e3779b9)),
+		vfs:          make(map[int32]*vfState),
+		pairs:        make(map[dataplane.VMPair]*Pair),
+		sched:        newWFQ(),
+		recvVFTokens: make(map[int32]float64),
+		recvPairs:    make(map[dataplane.VMPair]*recvPair),
+		uplinkCap:    g.Link(g.Node(host).Out[0]).Capacity,
+	}
+	net.SetHandler(host, a)
+	if cfg.TokenPeriod > 0 {
+		a.tokenLoopStop = eng.Every(cfg.TokenPeriod, a.tokenUpdate)
+	}
+	return a
+}
+
+// Stop cancels the agent's periodic loops (token updates).
+func (a *Agent) Stop() {
+	if a.tokenLoopStop != nil {
+		a.tokenLoopStop()
+	}
+}
+
+// Host returns the node this agent serves.
+func (a *Agent) Host() topo.NodeID { return a.host }
+
+// Config returns the agent's effective configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// AddVF registers a tenant VF on both the sending and receiving side with
+// the given hose tokens and WFQ weight class (0..7).
+func (a *Agent) AddVF(id int32, hoseTokens float64, class int) {
+	if _, ok := a.vfs[id]; ok {
+		panic(fmt.Sprintf("ufabe: VF %d already registered", id))
+	}
+	vf := &vfState{id: id, class: class, senderTokens: hoseTokens, recvTokens: hoseTokens}
+	a.vfs[id] = vf
+	a.recvVFTokens[id] = hoseTokens
+	a.sched.addVF(vf)
+}
+
+// Pair returns the sender-side pair state, or nil.
+func (a *Agent) Pair(id dataplane.VMPair) *Pair { return a.pairs[id] }
+
+// Pairs returns all sender-side pairs on this host.
+func (a *Agent) Pairs() []*Pair {
+	out := make([]*Pair, 0, len(a.pairs))
+	for _, p := range a.pairs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// AddPair creates a VM-pair, probes its candidate paths in parallel
+// (bootstrap, §3.5), and starts two-stage admission on a randomly chosen
+// initial path.
+func (a *Agent) AddPair(pc PairConfig) *Pair {
+	if len(pc.Routes) == 0 {
+		panic("ufabe: AddPair without routes")
+	}
+	if _, ok := a.pairs[pc.ID]; ok {
+		panic(fmt.Sprintf("ufabe: pair %d already exists", pc.ID))
+	}
+	p := &Pair{
+		ID:     pc.ID,
+		VF:     pc.VF,
+		Src:    a.host,
+		Dst:    pc.Dst,
+		Demand: pc.Demand,
+		agent:  a,
+		phi:    pc.Phi,
+	}
+	for i, r := range pc.Routes {
+		if a.graph.PathSrc(r) != a.host {
+			panic(fmt.Sprintf("ufabe: route %d does not start at host %d", i, a.host))
+		}
+		p.paths = append(p.paths, &pathState{
+			id:      uint16(i),
+			route:   r,
+			baseRTT: a.graph.BaseRTT(r, a.cfg.MTU),
+		})
+	}
+	p.active = a.rng.Intn(len(p.paths))
+	a.pairs[pc.ID] = p
+	vf := a.vfs[pc.VF]
+	if vf == nil {
+		// Static-token pair outside any registered VF: give it its own
+		// single-pair group in class 0.
+		vf = &vfState{id: pc.VF, class: 0, senderTokens: pc.Phi}
+		a.vfs[pc.VF] = vf
+		a.sched.addVF(vf)
+	}
+	vf.pairs = append(vf.pairs, p)
+	if k, ok := pc.Demand.(flowsrc.Kicker); ok && pc.Demand != nil {
+		k.SetKick(func() { a.Kick(p) })
+	}
+	p.enterRamp(a.eng.Now(), false)
+	// Bootstrap: probe all candidates in parallel; evaluate when the
+	// responses are in.
+	p.migrating = true
+	for i := range p.paths {
+		a.sendProbe(p, i, probe.KindProbe)
+	}
+	a.eng.After(2*p.maxBaseRTT(), func() { a.finishEvaluation(p, evalBootstrap) })
+	// The slow work-conservation scan (§3.5 trigger ii).
+	if a.cfg.CandidateProbeInterval > 0 && len(p.paths) > 1 {
+		a.eng.Every(a.cfg.CandidateProbeInterval, func() { a.scanForBetterPath(p) })
+	}
+	a.scheduleSend()
+	return p
+}
+
+// RemovePair tears a pair down: finish probes on its active path and
+// removal from the scheduler.
+func (a *Agent) RemovePair(id dataplane.VMPair) {
+	p := a.pairs[id]
+	if p == nil {
+		return
+	}
+	a.sendProbe(p, p.active, probe.KindFinish)
+	delete(a.pairs, id)
+	if vf := a.vfs[p.VF]; vf != nil {
+		for i, q := range vf.pairs {
+			if q == p {
+				vf.pairs = append(vf.pairs[:i], vf.pairs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (p *Pair) maxBaseRTT() sim.Duration {
+	var m sim.Duration
+	for _, ps := range p.paths {
+		if ps.baseRTT > m {
+			m = ps.baseRTT
+		}
+	}
+	return m
+}
+
+// Kick wakes the pair after new demand arrives, reactivating it from idle
+// (Scenario-2 admission) when necessary.
+func (a *Agent) Kick(p *Pair) {
+	if p.idle {
+		p.idle = false
+		// Refresh the token split right away so the reactivated pair
+		// does not spend its first RTTs on the idle-era equal share.
+		if a.cfg.TokenPeriod > 0 {
+			a.tokenUpdate()
+		}
+		p.enterRamp(a.eng.Now(), true)
+		a.sendProbe(p, p.active, probe.KindProbe)
+	}
+	a.scheduleSend()
+}
+
+// ---- Sending path -------------------------------------------------------
+
+func (a *Agent) scheduleSend() {
+	if a.sendPending {
+		return
+	}
+	a.sendPending = true
+	at := a.nicNextFree
+	if now := a.eng.Now(); at < now {
+		at = now
+	}
+	a.eng.At(at, func() {
+		a.sendPending = false
+		a.trySend()
+	})
+}
+
+// trySend emits at most one data packet (the WFQ engine schedules one
+// packet at a time, §4.1) and re-arms itself while work remains.
+func (a *Agent) trySend() {
+	now := a.eng.Now()
+	if now < a.nicNextFree {
+		a.scheduleSend()
+		return
+	}
+	p := a.sched.nextPair(int64(now), float64(a.cfg.MTU))
+	if p == nil {
+		return
+	}
+	size := int64(a.cfg.MTU)
+	if pend := p.Demand.Pending(); pend < size {
+		size = pend
+	}
+	if room := p.Window() - p.inflight; room < size {
+		size = room
+	}
+	if size <= 0 {
+		return
+	}
+	p.Demand.Consume(size)
+	p.inflight += size
+	p.SentBytes += size
+	p.txSinceToken += size
+	p.bytesSinceResp += size
+	p.seq++
+	p.lastProgress = now
+	a.armRTO(p)
+	a.DataBytes += uint64(size)
+	ps := p.paths[p.active]
+	ps.inflight += size
+	a.net.Send(&dataplane.Packet{
+		Kind:   dataplane.Data,
+		VMPair: p.ID,
+		Tenant: p.VF,
+		Size:   int(size),
+		Seq:    p.seq,
+		Route:  ps.route,
+		SentAt: now,
+		Meta:   dataMeta{path: ps.id},
+	})
+	a.sched.charge(p, int(size), a.vfs[p.VF].class)
+	a.nicNextFree = now + topo.SerializationDelay(int(size), a.uplinkCap)
+	// Self-clocked probing: L_w bytes since the last response.
+	if p.wantProbe && p.bytesSinceResp >= a.cfg.ProbePayloadBytes {
+		a.sendProbe(p, p.active, probe.KindProbe)
+	}
+	a.scheduleSend()
+}
+
+// ---- Probing ------------------------------------------------------------
+
+func (a *Agent) sendProbe(p *Pair, pathIdx int, kind probe.Kind) {
+	ps := p.paths[pathIdx]
+	ps.probeSeq++
+	seq := ps.probeSeq
+	pp := &probe.Packet{
+		Kind:   kind,
+		VMPair: uint32(p.ID),
+		PathID: ps.id,
+		Seq:    seq,
+		Phi:    p.phi,
+		Window: uint32(min64(p.Window(), int64(^uint32(0)))),
+		SentAt: int64(a.eng.Now()),
+	}
+	buf, err := pp.Encode(nil)
+	if err != nil {
+		panic(fmt.Sprintf("ufabe: probe encode: %v", err))
+	}
+	size := probe.WireSize(0)
+	a.net.Send(&dataplane.Packet{
+		Kind:    dataplane.Probe,
+		VMPair:  p.ID,
+		Tenant:  p.VF,
+		Size:    size,
+		Route:   ps.route,
+		SentAt:  a.eng.Now(),
+		Payload: buf,
+	})
+	ps.probeOutstanding = true
+	ps.probeSentAt = a.eng.Now()
+	if kind == probe.KindProbe && pathIdx == p.active {
+		p.wantProbe = false
+	}
+	a.ProbesSent++
+	a.ProbeBytes += uint64(probe.WireSize(len(ps.route))) // size at delivery
+	// Probe-loss detection (§4.1): timeout at n·baseRTT, stretched by
+	// the smoothed measured RTT when standing queues dominate.
+	timeout := sim.Duration(a.cfg.ProbeTimeoutRTTs) * ps.baseRTT
+	if adaptive := 4 * ps.srtt; adaptive > timeout {
+		timeout = adaptive
+	}
+	a.eng.After(timeout, func() { a.checkProbeTimeout(p, pathIdx, seq) })
+}
+
+func (a *Agent) checkProbeTimeout(p *Pair, pathIdx int, seq uint32) {
+	if a.pairs[p.ID] != p {
+		return // pair removed
+	}
+	ps := p.paths[pathIdx]
+	if ps.respSeq >= seq {
+		return // answered
+	}
+	ps.lostProbes++
+	if pathIdx == p.active {
+		// Consecutive probe drops count as predictability violations.
+		p.violationStreak++
+		if p.violationStreak >= a.cfg.ViolationRTTs {
+			a.beginMigration(p)
+		}
+		if p.Demand != nil && (p.Demand.Pending() > 0 || p.inflight > 0) {
+			a.sendProbe(p, pathIdx, probe.KindProbe)
+		}
+	}
+}
+
+// ---- Receive path ---------------------------------------------------------
+
+// HandlePacket implements dataplane.Handler.
+func (a *Agent) HandlePacket(pkt *dataplane.Packet) {
+	switch pkt.Kind {
+	case dataplane.Data:
+		a.handleData(pkt)
+	case dataplane.Ack:
+		a.handleAck(pkt)
+	case dataplane.Probe:
+		a.handleProbe(pkt)
+	case dataplane.Response:
+		a.handleResponse(pkt)
+	}
+}
+
+func (a *Agent) handleData(pkt *dataplane.Packet) {
+	now := a.eng.Now()
+	if a.OnReceive != nil {
+		a.OnReceive(pkt.VMPair, pkt.Size, now)
+	}
+	// Acknowledge on the reverse path.
+	var path uint16
+	if dm, ok := pkt.Meta.(dataMeta); ok {
+		path = dm.path
+	}
+	a.net.Send(&dataplane.Packet{
+		Kind:   dataplane.Ack,
+		VMPair: pkt.VMPair,
+		Tenant: pkt.Tenant,
+		Size:   a.cfg.AckSize,
+		Route:  a.graph.ReversePath(pkt.Route),
+		SentAt: now,
+		Meta:   ackMeta{bytes: pkt.Size, sentAt: pkt.SentAt, path: path},
+	})
+}
+
+func (a *Agent) handleAck(pkt *dataplane.Packet) {
+	p := a.pairs[pkt.VMPair]
+	if p == nil {
+		return
+	}
+	meta, ok := pkt.Meta.(ackMeta)
+	if !ok {
+		return
+	}
+	now := a.eng.Now()
+	// Attribute the ack to its path: bytes already reclaimed as orphans
+	// (after a migration) must not be freed twice.
+	credit := int64(meta.bytes)
+	if int(meta.path) < len(p.paths) {
+		ps := p.paths[meta.path]
+		if ps.inflight < credit {
+			credit = ps.inflight
+		}
+		ps.inflight -= credit
+	}
+	p.inflight -= credit
+	if p.inflight < 0 {
+		p.inflight = 0
+	}
+	p.lastProgress = now
+	p.Delivered += int64(meta.bytes)
+	p.RTT.Add((now - meta.sentAt).Micros())
+	p.advanceRamp(now)
+	if obs, ok := p.Demand.(DeliveryObserver); ok {
+		obs.Delivered(int64(meta.bytes), now)
+	}
+	// Idle detection: demand drained and nothing in flight.
+	if p.Demand.Pending() == 0 && p.inflight == 0 && !p.idle {
+		p.idleSince = now
+		a.eng.After(a.cfg.IdleFinishAfter, func() { a.checkIdle(p, now) })
+	}
+	a.scheduleSend()
+}
+
+func (a *Agent) checkIdle(p *Pair, since sim.Time) {
+	if a.pairs[p.ID] != p || p.idle {
+		return
+	}
+	if p.Demand.Pending() > 0 || p.inflight > 0 || p.idleSince != since {
+		return
+	}
+	p.idle = true
+	a.sendProbe(p, p.active, probe.KindFinish)
+}
+
+// handleProbe runs at the destination edge: record the sender's token
+// demand for GP admission and return the response with the receiver-side
+// admitted token (§3.2 steps 4–5).
+func (a *Agent) handleProbe(pkt *dataplane.Packet) {
+	pp, _, err := probe.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	now := a.eng.Now()
+	var admitted float64 // 0 = unbound
+	switch pp.Kind {
+	case probe.KindProbe:
+		rp := a.recvPairs[pkt.VMPair]
+		if rp == nil {
+			rp = &recvPair{vf: pkt.Tenant, tok: token.Pair{Admitted: token.Unbound}}
+			a.recvPairs[pkt.VMPair] = rp
+		}
+		rp.lastSeen = now
+		rp.tok.Requested = pp.Phi
+		if rp.tok.Admitted != token.Unbound && rp.tok.Admitted > 0 {
+			admitted = rp.tok.Admitted
+		}
+	case probe.KindFinish:
+		delete(a.recvPairs, pkt.VMPair)
+	default:
+		return
+	}
+	resp := pp.ToResponse(admitted)
+	buf, err := resp.Encode(nil)
+	if err != nil {
+		return
+	}
+	a.net.Send(&dataplane.Packet{
+		Kind:    dataplane.Response,
+		VMPair:  pkt.VMPair,
+		Tenant:  pkt.Tenant,
+		Size:    pkt.Size, // response carries the same telemetry back
+		Route:   a.graph.ReversePath(pkt.Route),
+		SentAt:  now,
+		Payload: buf,
+	})
+}
+
+// handleResponse runs at the source edge: step 6 of the workflow — rate
+// adjustment on the current path or migration away from it.
+func (a *Agent) handleResponse(pkt *dataplane.Packet) {
+	p := a.pairs[pkt.VMPair]
+	if p == nil {
+		return
+	}
+	resp, _, err := probe.Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if int(resp.PathID) >= len(p.paths) {
+		return
+	}
+	now := a.eng.Now()
+	ps := p.paths[resp.PathID]
+	ps.probeOutstanding = false
+	if resp.Seq > ps.respSeq {
+		ps.respSeq = resp.Seq
+	}
+	if resp.Kind == probe.KindFailure {
+		// Explicit path-death notice (type-4 failure response): the
+		// path's telemetry is void — it must not look like a fresh,
+		// qualified candidate — and an active pair migrates right away
+		// instead of accumulating timeout violations.
+		ps.lastResp = nil
+		ps.lastRespAt = 0
+		ps.qualified = false
+		ps.subscription = math.Inf(1)
+		if int(resp.PathID) == p.active && !p.idle {
+			a.beginMigration(p)
+		}
+		return
+	}
+	ps.lastRespAt = now
+	ps.lostProbes = 0
+	if rtt := now - sim.Time(resp.SentAt); rtt > 0 {
+		if ps.srtt == 0 {
+			ps.srtt = rtt
+		} else {
+			ps.srtt = (7*ps.srtt + rtt) / 8
+		}
+	}
+	if resp.Kind != probe.KindResponse {
+		return
+	}
+	if resp.PeerPhi > 0 {
+		p.peerPhi = resp.PeerPhi
+	} else {
+		p.peerPhi = 0
+	}
+	p.computeFromResponse(ps, resp)
+	if int(resp.PathID) != p.active {
+		return
+	}
+	p.advanceRamp(now)
+	// Violation detection (§3.5 trigger i): the pair must be
+	// *consistently* missing its minimum bandwidth while having
+	// sufficient demand AND the path must be oversubscribed. A merely
+	// oversubscribed path that still delivers (others have insufficient
+	// demand — Case-2's P1) is not abandoned; a transient rate dip on a
+	// qualified path is left to the allocation loop.
+	if now-p.lastViolationAt >= ps.baseRTT {
+		elapsed := now - p.lastViolationAt
+		rate := float64(p.Delivered-p.deliveredAtCheck) * 8 / elapsed.Seconds()
+		p.deliveredAtCheck = p.Delivered
+		p.lastViolationAt = now
+		demandSufficient := p.Demand != nil && p.Demand.Pending() > 0
+		if demandSufficient && !ps.qualified && rate < 0.92*p.Guarantee() {
+			p.violationStreak++
+		} else {
+			p.violationStreak = 0
+		}
+	}
+	if p.violationStreak >= a.cfg.ViolationRTTs {
+		a.beginMigration(p)
+	}
+	// Probing cadence.
+	p.bytesSinceResp = 0
+	if a.cfg.PeriodicProbeRTTs > 0 {
+		a.eng.After(sim.Duration(a.cfg.PeriodicProbeRTTs)*ps.baseRTT, func() {
+			if a.pairs[p.ID] == p && !p.idle {
+				a.sendProbe(p, p.active, probe.KindProbe)
+			}
+		})
+	} else {
+		// Self-clocked probing (§4.1): the next probe goes out with the
+		// data, once L_w more bytes have been transmitted. No timer
+		// fallback — the L_p/(L_p+L_w) overhead bound depends on
+		// probes being strictly data-clocked.
+		p.wantProbe = true
+	}
+	a.scheduleSend()
+}
+
+// ---- Migration ------------------------------------------------------------
+
+// evalMode distinguishes why a candidate-path evaluation was started.
+type evalMode uint8
+
+const (
+	// evalBootstrap is the initial path selection at AddPair.
+	evalBootstrap evalMode = iota
+	// evalViolation is §3.5 trigger (i): consistent guarantee violation.
+	evalViolation
+	// evalWorkConservation is §3.5 trigger (ii): the slow hunt for a
+	// persistently better path.
+	evalWorkConservation
+)
+
+// beginMigration starts an evaluation round: probe every candidate path in
+// parallel and decide when the responses are in (§3.5).
+func (a *Agent) beginMigration(p *Pair) {
+	now := a.eng.Now()
+	if p.migrating || now < a.freezeUntil || len(p.paths) < 2 {
+		return
+	}
+	p.migrating = true
+	for i := range p.paths {
+		if i != p.active {
+			a.sendProbe(p, i, probe.KindProbe)
+		}
+	}
+	a.eng.After(2*p.maxBaseRTT(), func() { a.finishEvaluation(p, evalViolation) })
+}
+
+// scanForBetterPath drives §3.5 trigger (ii): every
+// CandidateProbeInterval an active pair re-probes its candidates; a
+// qualified path persistently offering a substantially larger share for
+// BetterPathHold wins a (non-urgent) migration.
+func (a *Agent) scanForBetterPath(p *Pair) {
+	if a.pairs[p.ID] != p || p.idle || p.migrating || len(p.paths) < 2 {
+		return
+	}
+	if p.Demand == nil || (p.Demand.Pending() == 0 && p.inflight == 0) {
+		return
+	}
+	p.migrating = true
+	for i := range p.paths {
+		if i != p.active {
+			a.sendProbe(p, i, probe.KindProbe)
+		}
+	}
+	a.eng.After(2*p.maxBaseRTT(), func() { a.finishEvaluation(p, evalWorkConservation) })
+}
+
+// finishEvaluation selects the new active path among candidates with fresh
+// responses: qualified paths preferred, minimum subscription first, random
+// tie-break (§3.5 "path selection"). The mode decides fallback and freeze
+// behavior: violation-triggered migrations may fall back to the
+// least-subscribed path and arm the freeze window; work-conservation
+// evaluations only move after a persistently better path is observed.
+func (a *Agent) finishEvaluation(p *Pair, mode evalMode) {
+	if a.pairs[p.ID] != p {
+		return
+	}
+	now := a.eng.Now()
+	p.migrating = false
+	freshAge := 4 * p.maxBaseRTT()
+	// §3.5: "among all qualified paths, it selects one randomly with a
+	// preference to the path with minimum bandwidth subscription."
+	// Randomization matters: a deterministic argmin would herd every
+	// migrating pair onto the same link and oscillate.
+	pick := func(qualifiedOnly bool) int {
+		minSub := -1.0
+		for _, ps := range p.paths {
+			if !ps.fresh(now, freshAge) || (qualifiedOnly && !ps.qualified) {
+				continue
+			}
+			if minSub < 0 || ps.subscription < minSub {
+				minSub = ps.subscription
+			}
+		}
+		if minSub < 0 {
+			return -1
+		}
+		var cands []int
+		for i, ps := range p.paths {
+			if !ps.fresh(now, freshAge) || (qualifiedOnly && !ps.qualified) {
+				continue
+			}
+			if ps.subscription <= minSub+0.2 {
+				cands = append(cands, i)
+			}
+		}
+		return cands[a.rng.Intn(len(cands))]
+	}
+	if mode == evalWorkConservation {
+		a.finishWorkConservation(p, now, freshAge)
+		a.cleanupCandidates(p)
+		return
+	}
+	best := pick(true)
+	if best == -1 {
+		// No qualified path: fall back to a least-subscribed fresh
+		// path (best effort) on urgent migrations only.
+		if mode != evalViolation {
+			a.cleanupCandidates(p)
+			return
+		}
+		best = pick(false)
+	}
+	if best != -1 && best != p.active {
+		a.migrate(p, best, mode == evalViolation)
+	} else {
+		p.violationStreak = 0
+	}
+	a.cleanupCandidates(p)
+}
+
+// finishWorkConservation applies trigger (ii): among fresh qualified
+// candidates, consider only the one with the largest share R; if it has
+// beaten the active path by ≥20%% continuously for BetterPathHold, migrate.
+func (a *Agent) finishWorkConservation(p *Pair, now sim.Time, freshAge sim.Duration) {
+	active := p.paths[p.active]
+	best := -1
+	for i, ps := range p.paths {
+		if i == p.active || !ps.fresh(now, freshAge) || !ps.qualified {
+			continue
+		}
+		if best == -1 || ps.share > p.paths[best].share {
+			best = i
+		}
+	}
+	if best == -1 || p.paths[best].share <= 1.2*active.share {
+		p.betterSince = 0
+		return
+	}
+	if p.betterSince == 0 {
+		p.betterSince = now
+		return
+	}
+	if now-p.betterSince >= a.cfg.BetterPathHold {
+		p.betterSince = 0
+		a.migrate(p, best, false)
+	}
+}
+
+// cleanupCandidates sends finish probes on probed-but-unused candidate
+// paths so their registered φ/w does not linger in the core.
+func (a *Agent) cleanupCandidates(p *Pair) {
+	for i, ps := range p.paths {
+		if i != p.active && ps.lastResp != nil {
+			a.sendProbe(p, i, probe.KindFinish)
+		}
+	}
+}
+
+func (a *Agent) migrate(p *Pair, to int, urgent bool) {
+	now := a.eng.Now()
+	old := p.active
+	a.sendProbe(p, old, probe.KindFinish)
+	// Bytes still in flight on the old path are usually delivered and
+	// acked normally; whatever remains after a drain timeout (e.g. the
+	// old path failed) is declared lost and requeued.
+	oldPS := p.paths[old]
+	a.eng.After(sim.Duration(a.cfg.ProbeTimeoutRTTs)*oldPS.baseRTT, func() {
+		a.reclaimOrphans(p, oldPS)
+	})
+	p.active = to
+	p.Migrations++
+	p.violationStreak = 0
+	p.lastViolationAt = now
+	p.deliveredAtCheck = p.Delivered
+	p.enterRamp(now, false) // Scenario-1 on the fresh path
+	if a.cfg.ReorderFree {
+		p.dataStartAt = now + p.paths[to].baseRTT
+	}
+	// Register on the new path immediately.
+	a.sendProbe(p, to, probe.KindProbe)
+	if urgent {
+		// Freeze window: one migration per [1,N]-RTT window per host.
+		n := 1 + a.rng.Intn(a.cfg.FreezeMaxRTTs)
+		a.freezeUntil = now + sim.Duration(n)*p.paths[to].baseRTT
+	}
+	a.scheduleSend()
+}
+
+// ---- Guarantee Partitioning loop -------------------------------------------
+
+// tokenUpdate runs every TokenPeriod: sender-side token assignment across
+// each VF's pairs (Algorithm 1 sender) and receiver-side admission
+// (Algorithm 1 receiver).
+func (a *Agent) tokenUpdate() {
+	period := a.cfg.TokenPeriod.Seconds()
+	// Sender side.
+	for _, vf := range a.vfs {
+		if vf.senderTokens <= 0 || len(vf.pairs) == 0 {
+			continue
+		}
+		// Externally-managed pairs (multipath token splits) keep their
+		// φ; the rest share the remaining hose.
+		hose := vf.senderTokens
+		var managed []*Pair
+		var free []*Pair
+		for _, p := range vf.pairs {
+			if p.phiManaged {
+				hose -= p.phi
+				managed = append(managed, p)
+			} else {
+				free = append(free, p)
+			}
+		}
+		_ = managed
+		if hose <= 0 || len(free) == 0 {
+			continue
+		}
+		tps := make([]*token.Pair, len(free))
+		for i, p := range free {
+			demand := -1.0
+			// A pair that drained its demand and is not backlogged is
+			// demand-bounded: measure its actual rate in tokens.
+			if p.Demand == nil {
+				demand = 0
+			} else if p.Demand.Pending() == 0 {
+				demand = float64(p.txSinceToken*8) / period / a.cfg.BU
+			}
+			adm := token.Unbound
+			if p.peerPhi > 0 {
+				adm = p.peerPhi
+			}
+			tps[i] = &token.Pair{Demand: demand, Admitted: adm}
+			p.txSinceToken = 0
+		}
+		token.SenderAssign(hose, tps)
+		for i, p := range free {
+			p.phi = tps[i].Requested
+		}
+	}
+	// Receiver side: admit per VF.
+	now := a.eng.Now()
+	byVF := make(map[int32][]*recvPair)
+	for vm, rp := range a.recvPairs {
+		if now-rp.lastSeen > 100*a.cfg.TokenPeriod {
+			delete(a.recvPairs, vm)
+			continue
+		}
+		byVF[rp.vf] = append(byVF[rp.vf], rp)
+	}
+	for vfID, rps := range byVF {
+		hose := a.recvVFTokens[vfID]
+		if hose <= 0 {
+			continue
+		}
+		tps := make([]*token.Pair, len(rps))
+		for i, rp := range rps {
+			tps[i] = &rp.tok
+		}
+		token.ReceiverAdmit(hose, tps)
+	}
+}
+
+// armRTO schedules a retransmission-timeout check: if no send or ack
+// progress happens for ProbeTimeoutRTTs·baseRTT while bytes are in flight,
+// the inflight bytes are assumed dropped and are requeued.
+func (a *Agent) armRTO(p *Pair) {
+	if p.rtoArmed {
+		return
+	}
+	p.rtoArmed = true
+	rto := sim.Duration(2*a.cfg.ProbeTimeoutRTTs) * p.paths[p.active].baseRTT
+	a.eng.After(rto, func() { a.checkRTO(p, rto) })
+}
+
+func (a *Agent) checkRTO(p *Pair, rto sim.Duration) {
+	p.rtoArmed = false
+	if a.pairs[p.ID] != p || p.inflight == 0 {
+		return
+	}
+	now := a.eng.Now()
+	if since := now - p.lastProgress; since < rto {
+		// Progress happened; re-check after the remaining time.
+		p.rtoArmed = true
+		a.eng.After(rto-since, func() { a.checkRTO(p, rto) })
+		return
+	}
+	p.Losses++
+	a.recoverInflight(p)
+	a.scheduleSend()
+}
+
+// recoverInflight requeues all unacknowledged bytes (retransmission).
+func (a *Agent) recoverInflight(p *Pair) {
+	if p.inflight == 0 {
+		return
+	}
+	if rq, ok := p.Demand.(Requeuer); ok {
+		rq.Requeue(p.inflight)
+	}
+	p.inflight = 0
+	for _, ps := range p.paths {
+		ps.inflight = 0
+	}
+}
+
+// reclaimOrphans declares bytes still unacknowledged on a no-longer-active
+// path lost, requeueing them for retransmission on the current path.
+func (a *Agent) reclaimOrphans(p *Pair, ps *pathState) {
+	if a.pairs[p.ID] != p || ps == p.paths[p.active] || ps.inflight == 0 {
+		return
+	}
+	lost := ps.inflight
+	ps.inflight = 0
+	p.inflight -= lost
+	if p.inflight < 0 {
+		p.inflight = 0
+	}
+	p.Losses++
+	if rq, ok := p.Demand.(Requeuer); ok {
+		rq.Requeue(lost)
+	}
+	a.scheduleSend()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,16 @@
+package ufabe
+
+import "ufab/internal/flowsrc"
+
+// Demand, Buffer and the optional capability interfaces are shared with
+// the baseline transports; see package flowsrc for the definitions.
+type (
+	// Demand is the traffic source a VM-pair drains.
+	Demand = flowsrc.Source
+	// Buffer is the basic demand buffer.
+	Buffer = flowsrc.Buffer
+	// DeliveryObserver observes end-to-end acknowledged bytes.
+	DeliveryObserver = flowsrc.DeliveryObserver
+	// Requeuer takes lost bytes back for retransmission.
+	Requeuer = flowsrc.Requeuer
+)

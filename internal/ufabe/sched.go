@@ -1,0 +1,109 @@
+package ufabe
+
+// Hierarchical traffic admission at the sender (§4.1): VM-pair queues are
+// grouped per VF, VFs are assigned to one of eight weighted classes, and a
+// deficit-round-robin engine arbitrates classes while plain round-robin
+// arbitrates VFs within a class and VM-pairs within a VF. Constraining the
+// WFQ engine to 8 distinct weight levels is the paper's FPGA scalability
+// trade-off; the same constraint is kept here.
+
+// NumWeightClasses is the number of weighted queues in the WFQ engine.
+const NumWeightClasses = 8
+
+// defaultClassWeights are the per-class scheduling weights (power-of-two
+// ladder, distinct levels as in §4.1).
+var defaultClassWeights = [NumWeightClasses]float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// vfState groups a tenant VF's pairs on one host.
+type vfState struct {
+	id    int32
+	class int
+	// senderTokens is the VF's hose φ^a on the sending side;
+	// recvTokens on the receiving side.
+	senderTokens float64
+	recvTokens   float64
+	pairs        []*Pair
+	rr           int // round-robin cursor over pairs
+}
+
+// wfq is the 8-class deficit-round-robin engine.
+type wfq struct {
+	classes [NumWeightClasses]struct {
+		vfs     []*vfState
+		rr      int // round-robin cursor over VFs
+		deficit float64
+	}
+	weights [NumWeightClasses]float64
+	cursor  int
+}
+
+func newWFQ() *wfq {
+	w := &wfq{weights: defaultClassWeights}
+	return w
+}
+
+func (w *wfq) addVF(vf *vfState) {
+	c := vf.class
+	if c < 0 {
+		c = 0
+	}
+	if c >= NumWeightClasses {
+		c = NumWeightClasses - 1
+	}
+	vf.class = c
+	w.classes[c].vfs = append(w.classes[c].vfs, vf)
+}
+
+// eligible reports whether the pair can emit a packet right now.
+func eligible(p *Pair, now int64) bool {
+	if p.Demand == nil || p.Demand.Pending() <= 0 {
+		return false
+	}
+	if int64(p.dataStartAt) > now {
+		return false
+	}
+	return p.inflight < p.Window()
+}
+
+// nextPair picks the next VM-pair to serve using DRR over classes and RR
+// within class/VF, charging cost bytes against the class deficit. It
+// returns nil when no pair is eligible.
+func (w *wfq) nextPair(now int64, quantum float64) *Pair {
+	// Two sweeps: the first may need to refill deficits.
+	for sweep := 0; sweep < 2*NumWeightClasses; sweep++ {
+		cl := &w.classes[w.cursor]
+		if len(cl.vfs) > 0 {
+			if cl.deficit <= 0 {
+				cl.deficit += quantum * w.weights[w.cursor]
+			}
+			// RR over VFs in this class.
+			for i := 0; i < len(cl.vfs); i++ {
+				vf := cl.vfs[(cl.rr+i)%len(cl.vfs)]
+				// RR over pairs in this VF.
+				for j := 0; j < len(vf.pairs); j++ {
+					p := vf.pairs[(vf.rr+j)%len(vf.pairs)]
+					if eligible(p, now) {
+						cl.rr = (cl.rr + i + 1) % len(cl.vfs)
+						vf.rr = (vf.rr + j + 1) % len(vf.pairs)
+						return p
+					}
+				}
+			}
+		}
+		// Nothing eligible in this class: move on without banking
+		// deficit (DRR resets idle classes).
+		cl.deficit = 0
+		w.cursor = (w.cursor + 1) % NumWeightClasses
+	}
+	return nil
+}
+
+// charge deducts the transmitted bytes from the serving class and advances
+// the cursor when the class has used its quantum.
+func (w *wfq) charge(p *Pair, bytes int, vfClass int) {
+	cl := &w.classes[vfClass]
+	cl.deficit -= float64(bytes)
+	if cl.deficit <= 0 {
+		w.cursor = (w.cursor + 1) % NumWeightClasses
+	}
+}

@@ -1,0 +1,304 @@
+// Package vfabric assembles a complete μFAB deployment over a simulated
+// data center: a discrete-event engine, a topology, the packet dataplane,
+// one μFAB-C agent per switch (and optionally per host hypervisor, §6),
+// and one μFAB-E agent per host. It exposes the tenant-facing service
+// model: create VFs with hose-model minimum-bandwidth guarantees, attach
+// VM-pairs with demands, run, and measure.
+//
+// This is the package downstream users import; the experiment harness and
+// the examples are built on it.
+package vfabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ufab/internal/dataplane"
+	"ufab/internal/probe"
+	"ufab/internal/sim"
+	"ufab/internal/stats"
+	"ufab/internal/topo"
+	"ufab/internal/ufabc"
+	"ufab/internal/ufabe"
+)
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// Edge configures every μFAB-E agent.
+	Edge ufabe.Config
+	// Core configures every μFAB-C agent.
+	Core ufabc.Config
+	// Dataplane configures queues/ECN/ECMP.
+	Dataplane dataplane.Config
+	// CandidatePaths bounds how many underlay paths each VM-pair
+	// monitors (0 = up to 4, §3.5 "it randomly chooses a few of them");
+	// candidates are sampled uniformly from the equal-cost set.
+	CandidatePaths int
+	// MeterInterval is the per-flow rate meter resolution (default
+	// 500 μs; reaction-time experiments use finer).
+	MeterInterval sim.Duration
+	// HostCoreAgents attaches a μFAB-C instance to each host so the
+	// host uplink contributes INT records (the hypervisor deployment of
+	// §6). Default true via New; set DisableHostCoreAgents to turn off.
+	DisableHostCoreAgents bool
+	// Seed drives path-candidate selection and the edge agents.
+	Seed int64
+}
+
+// VF is a tenant virtual fabric with a hose-model guarantee.
+type VF struct {
+	ID int32
+	// GuaranteeBps is the per-vNIC hose minimum bandwidth.
+	GuaranteeBps float64
+	// WeightClass is the WFQ class (0..7).
+	WeightClass int
+
+	pairs []*Flow
+}
+
+// Flow is one VM-pair of a VF, the unit of allocation and measurement.
+type Flow struct {
+	VF   *VF
+	Pair *ufabe.Pair
+	// Demand is the flow's traffic source.
+	Demand ufabe.Demand
+	// Buffer is the demand buffer when the flow was created with
+	// AddFlow; nil for custom demands (AddFlowDemand).
+	Buffer *ufabe.Buffer
+	// Meter samples acknowledged throughput.
+	Meter *stats.RateMeter
+
+	lastDelivered int64
+}
+
+// Fabric is an assembled μFAB deployment.
+type Fabric struct {
+	Eng   *sim.Engine
+	Graph *topo.Graph
+	Net   *dataplane.Network
+	Cfg   Config
+
+	Edges map[topo.NodeID]*ufabe.Agent
+	Cores map[topo.NodeID]*ufabc.Agent
+
+	VFs   map[int32]*VF
+	Flows []*Flow
+
+	nextVM dataplane.VMPair
+	rng    *rand.Rand
+}
+
+// New assembles a fabric over the topology: μFAB-C on every switch (and
+// host unless disabled), μFAB-E on every host.
+func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
+	if cfg.CandidatePaths == 0 {
+		cfg.CandidatePaths = 4
+	}
+	if cfg.Edge.BU == 0 {
+		cfg.Edge.BU = 100e6
+	}
+	if cfg.MeterInterval == 0 {
+		cfg.MeterInterval = 500 * sim.Microsecond
+	}
+	cfg.Edge.Seed = cfg.Seed
+	f := &Fabric{
+		Eng:   eng,
+		Graph: g,
+		Net:   dataplane.New(eng, g, cfg.Dataplane),
+		Cfg:   cfg,
+		Edges: make(map[topo.NodeID]*ufabe.Agent),
+		Cores: make(map[topo.NodeID]*ufabc.Agent),
+		VFs:   make(map[int32]*VF),
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x76666162)),
+	}
+	f.Net.OnFailDrop = f.bounceFailure
+	for _, n := range g.Nodes {
+		switch {
+		case n.Kind == topo.Switch:
+			ag := ufabc.New(cfg.Core)
+			f.Net.SetSwitchAgent(n.ID, ag)
+			f.Cores[n.ID] = ag
+		case n.Kind == topo.Host:
+			if !cfg.DisableHostCoreAgents {
+				ag := ufabc.New(cfg.Core)
+				f.Net.SetSwitchAgent(n.ID, ag)
+				f.Cores[n.ID] = ag
+			}
+			f.Edges[n.ID] = ufabe.New(eng, f.Net, n.ID, cfg.Edge)
+		}
+	}
+	return f
+}
+
+// bounceFailure converts a probe dropped at a dead hop into the
+// Appendix-G type-4 failure response, returned to the source along the
+// reverse of the prefix it already traversed. The source edge treats it
+// as an immediate path-death signal instead of waiting out the probe
+// timeout.
+func (f *Fabric) bounceFailure(pkt *dataplane.Packet, at topo.NodeID) {
+	if pkt.Kind != dataplane.Probe || len(pkt.Payload) == 0 || pkt.Hop <= 0 {
+		return
+	}
+	if f.Graph.Node(at).Kind != topo.Switch || f.Net.Failed(at) {
+		return
+	}
+	p, _, err := probe.Decode(pkt.Payload)
+	if err != nil || p.Kind != probe.KindProbe {
+		return
+	}
+	fail := *p
+	fail.Kind = probe.KindFailure
+	fail.Hops = nil
+	buf, err := fail.Encode(nil)
+	if err != nil {
+		return
+	}
+	back := f.Graph.ReversePath(pkt.Route[:pkt.Hop])
+	f.Net.Send(&dataplane.Packet{
+		Kind:    dataplane.Response,
+		VMPair:  pkt.VMPair,
+		Tenant:  pkt.Tenant,
+		Size:    probe.WireSize(0),
+		Route:   back,
+		SentAt:  f.Eng.Now(),
+		Payload: buf,
+	})
+}
+
+// Edge returns the μFAB-E agent of a host.
+func (f *Fabric) Edge(host topo.NodeID) *ufabe.Agent { return f.Edges[host] }
+
+// AddVF registers a tenant VF with the given hose guarantee on every edge.
+func (f *Fabric) AddVF(id int32, guaranteeBps float64, weightClass int) *VF {
+	if _, ok := f.VFs[id]; ok {
+		panic(fmt.Sprintf("vfabric: VF %d already exists", id))
+	}
+	tokens := guaranteeBps / f.Cfg.Edge.BU
+	for _, e := range f.Edges {
+		e.AddVF(id, tokens, weightClass)
+	}
+	vf := &VF{ID: id, GuaranteeBps: guaranteeBps, WeightClass: weightClass}
+	f.VFs[id] = vf
+	return vf
+}
+
+// AddFlow creates a VM-pair of vf from src to dst with the given initial
+// token share of the VF's guarantee (tokens = guarantee/BU when 0). It
+// enumerates up to CandidatePaths equal-cost underlay paths.
+func (f *Fabric) AddFlow(vf *VF, src, dst topo.NodeID, phi float64) *Flow {
+	buf := &ufabe.Buffer{}
+	fl := f.AddFlowDemand(vf, src, dst, phi, buf)
+	fl.Buffer = buf
+	return fl
+}
+
+// AddFlowDemand is AddFlow with a caller-supplied demand source (e.g. a
+// workload.Messages tracker for FCT measurement).
+func (f *Fabric) AddFlowDemand(vf *VF, src, dst topo.NodeID, phi float64, demand ufabe.Demand) *Flow {
+	routes := f.sampleRoutes(src, dst, f.Cfg.CandidatePaths)
+	if len(routes) == 0 {
+		panic(fmt.Sprintf("vfabric: no path %d→%d", src, dst))
+	}
+	return f.AddFlowRoutes(vf, routes, phi, demand)
+}
+
+// sampleRoutes picks up to k candidate paths uniformly at random from the
+// equal-cost set (§3.5: the edge "randomly chooses a few of them").
+func (f *Fabric) sampleRoutes(src, dst topo.NodeID, k int) []topo.Path {
+	all := f.Graph.Paths(src, dst, 8*k)
+	if len(all) <= k {
+		return all
+	}
+	f.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:k]
+}
+
+// AddFlowRoutes creates a VM-pair over an explicit candidate-path set
+// (experiments use it to pin flows to specific underlay paths).
+func (f *Fabric) AddFlowRoutes(vf *VF, routes []topo.Path, phi float64, demand ufabe.Demand) *Flow {
+	src := f.Graph.PathSrc(routes[0])
+	dst := f.Graph.PathDst(routes[0])
+	if phi == 0 {
+		phi = vf.GuaranteeBps / f.Cfg.Edge.BU
+	}
+	f.nextVM++
+	pair := f.Edges[src].AddPair(ufabe.PairConfig{
+		ID:     f.nextVM,
+		VF:     vf.ID,
+		Dst:    dst,
+		Routes: routes,
+		Phi:    phi,
+		Demand: demand,
+	})
+	fl := &Flow{
+		VF:     vf,
+		Pair:   pair,
+		Demand: demand,
+		Meter:  stats.NewRateMeter(fmt.Sprintf("vf%d-pair%d", vf.ID, f.nextVM), f.Cfg.MeterInterval),
+	}
+	vf.pairs = append(vf.pairs, fl)
+	f.Flows = append(f.Flows, fl)
+	return fl
+}
+
+// SampleRates flushes every flow's rate meter up to now; call it
+// periodically (or once at the end) so Meter series cover the run.
+func (f *Fabric) SampleRates() {
+	now := f.Eng.Now()
+	for _, fl := range f.Flows {
+		d := fl.Pair.Delivered
+		if delta := d - fl.lastDelivered; delta > 0 {
+			fl.Meter.Add(now, int(delta))
+			fl.lastDelivered = d
+		}
+		fl.Meter.Flush(now)
+	}
+}
+
+// StartSampling arranges for SampleRates to run every interval.
+func (f *Fabric) StartSampling(interval sim.Duration) (stop func()) {
+	return f.Eng.Every(interval, f.SampleRates)
+}
+
+// StartCoreCleanup starts the silent-quit cleanup loop on every μFAB-C.
+func (f *Fabric) StartCoreCleanup() {
+	for _, c := range f.Cores {
+		c.StartCleanup(f.Eng)
+	}
+}
+
+// Rate returns the flow's acknowledged throughput in bits/s averaged over
+// [from, to].
+func (fl *Flow) Rate(from, to sim.Time) float64 {
+	return fl.Meter.Series.MeanOver(from, to)
+}
+
+// ProbeOverhead returns probe bytes as a fraction of total (probe + data)
+// bytes sent across all edges — the Fig 15b metric.
+func (f *Fabric) ProbeOverhead() float64 {
+	var probeB, dataB uint64
+	for _, e := range f.Edges {
+		probeB += e.ProbeBytes
+		dataB += e.DataBytes
+	}
+	if probeB+dataB == 0 {
+		return 0
+	}
+	return float64(probeB) / float64(probeB+dataB)
+}
+
+// MaxQueueBytes returns the largest egress queue high-water mark across
+// all switch ports (host uplinks excluded).
+func (f *Fabric) MaxQueueBytes() int {
+	max := 0
+	for i := range f.Net.Ports {
+		p := &f.Net.Ports[i]
+		if f.Graph.Node(p.Link.Src).Kind != topo.Switch {
+			continue
+		}
+		if p.MaxQueueBytes > max {
+			max = p.MaxQueueBytes
+		}
+	}
+	return max
+}
