@@ -1,0 +1,37 @@
+# Reproduces the CI gate (.github/workflows/ci.yml) locally:
+#   make ci        — everything CI runs, in the same order
+#   make golden    — re-record golden_metrics.json after an intentional
+#                    metric change (commit the diff)
+GO ?= go
+
+.PHONY: ci build vet fmt-check test race bench check golden
+
+ci: build vet fmt-check test race bench check
+	@echo "CI gate passed"
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiments -run TestParallelRunnerDeterminism
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench.txt
+
+check:
+	$(GO) run ./cmd/ufabsim check
+
+golden:
+	$(GO) run ./cmd/ufabsim check -update

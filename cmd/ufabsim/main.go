@@ -8,7 +8,15 @@
 //	ufabsim run fig11 fig12      # run selected experiments
 //	ufabsim -quick run all       # scaled-down runs (the bench settings)
 //	ufabsim -seed 7 run fig4     # change the deterministic seed
+//	ufabsim -jobs 8 run all      # run up to 8 experiments in parallel
+//	ufabsim -repeat 3 run fig4   # 3 runs with seeds seed, seed+1, seed+2
 //	ufabsim tables               # just the resource-model tables
+//	ufabsim check                # replay evaluation vs golden_metrics.json
+//	ufabsim check -update        # re-record the golden baseline
+//
+// Experiment runs are deterministic per (experiment, quick, seed), so a
+// parallel batch produces Reports identical to a sequential one; only the
+// wall-time annotations differ.
 package main
 
 import (
@@ -24,6 +32,9 @@ func main() {
 	quick := flag.Bool("quick", false, "run scaled-down experiments (bench scale)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csvDir := flag.String("csv", "", "directory to export figure curves as CSV")
+	jobs := flag.Int("jobs", 0, "max concurrent experiment runs (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
+	repeat := flag.Int("repeat", 1, "runs per experiment, with seeds seed..seed+repeat-1")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -32,6 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	runner := &experiments.Runner{Jobs: *jobs, Timeout: *timeout}
 	exportCSV = *csvDir
 	switch args[0] {
 	case "list":
@@ -39,16 +51,15 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 	case "tables":
-		run(opts, "tab3", "tab4")
+		run(runner, opts, *repeat, "tab3", "tab4")
 	case "run":
 		ids := args[1:]
 		if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
-			ids = nil
-			for _, e := range experiments.All {
-				ids = append(ids, e.ID)
-			}
+			ids = experiments.AllIDs()
 		}
-		run(opts, ids...)
+		run(runner, opts, *repeat, ids...)
+	case "check":
+		check(runner, args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -57,15 +68,25 @@ func main() {
 
 var exportCSV string
 
-func run(opts experiments.Options, ids ...string) {
-	for _, id := range ids {
-		e := experiments.Find(id)
-		if e == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'ufabsim list')\n", id)
-			os.Exit(1)
+// run executes the batch on the worker pool and prints reports in job
+// order (streamed as each ordered prefix completes, via Runner's ordered
+// results). A failed run is reported and the batch continues; the process
+// exits non-zero if any run failed.
+func run(runner *experiments.Runner, opts experiments.Options, repeat int, ids ...string) {
+	jobs, err := experiments.ExpandIDs(ids, opts, repeat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (try 'ufabsim list')\n", err)
+		os.Exit(1)
+	}
+	results := runner.Run(jobs)
+	failed := 0
+	for _, res := range results {
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", res.Err)
+			continue
 		}
-		t0 := time.Now()
-		rep := e.Run(opts)
+		rep := res.Report
 		fmt.Print(rep.String())
 		if exportCSV != "" && len(rep.Series) > 0 {
 			if err := os.MkdirAll(exportCSV, 0o755); err != nil {
@@ -78,8 +99,70 @@ func run(opts experiments.Options, ids ...string) {
 			}
 			fmt.Printf("-- %d curves exported to %s --\n", len(rep.Series), exportCSV)
 		}
-		fmt.Printf("-- wall time %.1fs --\n\n", time.Since(t0).Seconds())
+		fmt.Printf("-- wall time %.1fs --\n\n", res.Wall.Seconds())
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d runs failed\n", failed, len(results))
+		os.Exit(1)
+	}
+}
+
+// check replays the whole evaluation at the golden file's pinned options
+// and fails on metric drift. With -update it re-records the baseline.
+func check(runner *experiments.Runner, args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	golden := fs.String("golden", "golden_metrics.json", "golden metrics file")
+	update := fs.Bool("update", false, "re-record the baseline instead of checking")
+	tol := fs.Float64("tol", 1e-6, "default relative tolerance when recording with -update")
+	fs.Parse(args)
+
+	opts := experiments.Options{Quick: true, Seed: 1}
+	var g *experiments.Golden
+	if !*update {
+		var err error
+		g, err = experiments.LoadGolden(*golden)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load golden: %v (run 'ufabsim check -update' to record one)\n", err)
+			os.Exit(1)
+		}
+		opts = g.Options
+	}
+
+	t0 := time.Now()
+	jobs, err := experiments.ExpandIDs(experiments.AllIDs(), opts, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	results := runner.Run(jobs)
+	var reports []*experiments.Report
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", res.Err)
+			os.Exit(1)
+		}
+		reports = append(reports, res.Report)
+	}
+	wall := time.Since(t0).Seconds()
+
+	if *update {
+		g := experiments.BuildGolden(opts, reports, *tol)
+		if err := g.Save(*golden); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d experiments to %s in %.1fs\n", len(reports), *golden, wall)
+		return
+	}
+	drifts := g.Compare(reports)
+	if len(drifts) > 0 {
+		fmt.Fprintf(os.Stderr, "metric drift vs %s (%d issues):\n", *golden, len(drifts))
+		for _, d := range drifts {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("check ok: %d experiments match %s in %.1fs\n", len(reports), *golden, wall)
 }
 
 func usage() {
@@ -89,6 +172,7 @@ usage:
   ufabsim [flags] list
   ufabsim [flags] run all | <id>...
   ufabsim [flags] tables
+  ufabsim [flags] check [-golden file] [-update] [-tol t]
 
 flags:
 `)

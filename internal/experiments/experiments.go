@@ -27,13 +27,14 @@ import (
 	blhost "ufab/internal/baseline/host"
 )
 
-// Options tunes an experiment run.
+// Options tunes an experiment run. The JSON tags pin the encoding used by
+// the golden_metrics.json regression baseline.
 type Options struct {
 	// Quick runs a scaled-down version (shorter horizon, smaller
 	// fan-in) suitable for go test -bench.
-	Quick bool
+	Quick bool `json:"quick"`
 	// Seed drives all randomness; runs are deterministic per seed.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 // Report is an experiment's structured result.

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one (experiment, options) run. Each run builds its own private
+// sim.Engine, so jobs are independent and safe to execute concurrently.
+type Job struct {
+	Entry *Entry
+	Opts  Options
+}
+
+// RunResult is the outcome of one Job. Exactly one of Report and Err is
+// set. Results are deterministic per (experiment, Options): for the same
+// job a parallel batch and a sequential batch yield identical Reports.
+type RunResult struct {
+	Job    Job
+	Report *Report
+	// Err is set when the run panicked or exceeded the wall-clock
+	// timeout; the rest of the batch is unaffected.
+	Err      error
+	TimedOut bool
+	Wall     time.Duration
+}
+
+// Runner executes batches of experiment runs across a bounded worker
+// pool with per-run panic recovery and wall-clock timeouts. The zero
+// value runs one job per CPU with no timeout.
+type Runner struct {
+	// Jobs bounds concurrent runs; <=0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Timeout limits each run's wall-clock time; 0 means no limit. A
+	// timed-out run is abandoned (its goroutine is left to finish in the
+	// background — simulation runs cannot be preempted) and reported
+	// via RunResult.TimedOut.
+	Timeout time.Duration
+}
+
+// Run executes all jobs and returns their results in job order,
+// regardless of completion order, so batch output is deterministic.
+func (r *Runner) Run(jobs []Job) []RunResult {
+	workers := r.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]RunResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = r.runOne(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// outcome carries the inner run's result across the timeout boundary so
+// an abandoned goroutine never writes into the results slice.
+type outcome struct {
+	rep *Report
+	err error
+}
+
+func (r *Runner) runOne(j Job) RunResult {
+	res := RunResult{Job: j}
+	start := time.Now()
+	ch := make(chan outcome, 1) // buffered: an abandoned run must not block forever
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("experiment %s (seed %d) panicked: %v\n%s",
+					j.Entry.ID, j.Opts.Seed, p, debug.Stack())}
+			}
+		}()
+		ch <- outcome{rep: j.Entry.Run(j.Opts)}
+	}()
+	if r.Timeout > 0 {
+		timer := time.NewTimer(r.Timeout)
+		defer timer.Stop()
+		select {
+		case o := <-ch:
+			res.Report, res.Err = o.rep, o.err
+		case <-timer.C:
+			res.TimedOut = true
+			res.Err = fmt.Errorf("experiment %s (seed %d) exceeded timeout %v",
+				j.Entry.ID, j.Opts.Seed, r.Timeout)
+		}
+	} else {
+		o := <-ch
+		res.Report, res.Err = o.rep, o.err
+	}
+	res.Wall = time.Since(start)
+	return res
+}
+
+// ExpandIDs builds the job list for the given experiment ids, repeating
+// each experiment `repeat` times with seeds opts.Seed, opts.Seed+1, …
+// (repeat < 1 is treated as 1). Jobs are ordered experiment-major so a
+// batch prints in registry order.
+func ExpandIDs(ids []string, opts Options, repeat int) ([]Job, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	jobs := make([]Job, 0, len(ids)*repeat)
+	for _, id := range ids {
+		e := Find(id)
+		if e == nil {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		for k := 0; k < repeat; k++ {
+			o := opts
+			o.Seed = opts.Seed + int64(k)
+			jobs = append(jobs, Job{Entry: e, Opts: o})
+		}
+	}
+	return jobs, nil
+}
+
+// AllIDs returns every registered experiment id in registry order.
+func AllIDs() []string {
+	ids := make([]string, len(All))
+	for i := range All {
+		ids[i] = All[i].ID
+	}
+	return ids
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastIDs is a representative, cheap subset of the registry used by the
+// race-enabled determinism test (the full evaluation is covered by
+// `ufabsim check` in CI, where the race detector's ~10x slowdown does not
+// apply). It spans motivation figures, comparative incast runs, control
+// laws, and both resource-model tables.
+var fastIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig12", "fig19", "tab3", "tab4"}
+
+// TestParallelRunnerDeterminism is the CI gate for the tentpole claim: a
+// parallel batch must produce Reports identical — field for field and
+// byte for byte — to a sequential one, across several seeds.
+func TestParallelRunnerDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		opts := Options{Quick: true, Seed: seed}
+		jobs, err := ExpandIDs(fastIDs, opts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := (&Runner{Jobs: 1}).Run(jobs)
+		par := (&Runner{Jobs: 8}).Run(jobs)
+		if len(seq) != len(par) {
+			t.Fatalf("seed %d: %d sequential vs %d parallel results", seed, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i].Err != nil || par[i].Err != nil {
+				t.Fatalf("seed %d job %d: errs %v / %v", seed, i, seq[i].Err, par[i].Err)
+			}
+			a, b := seq[i].Report, par[i].Report
+			if as, bs := a.String(), b.String(); as != bs {
+				t.Errorf("seed %d %s: rendered reports differ:\n--- sequential\n%s\n--- parallel\n%s",
+					seed, a.ID, as, bs)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("seed %d %s: report structures differ", seed, a.ID)
+			}
+		}
+	}
+}
+
+func TestRunnerResultsInJobOrder(t *testing.T) {
+	// Jobs with deliberately inverted costs: if results were ordered by
+	// completion, the slow first job would come last.
+	mk := func(id string, d time.Duration) *Entry {
+		return &Entry{ID: id, Title: id, Run: func(o Options) *Report {
+			time.Sleep(d)
+			return NewReport(id, id)
+		}}
+	}
+	jobs := []Job{
+		{Entry: mk("slow", 50*time.Millisecond)},
+		{Entry: mk("mid", 10*time.Millisecond)},
+		{Entry: mk("fast", 0)},
+	}
+	results := (&Runner{Jobs: 3}).Run(jobs)
+	for i, want := range []string{"slow", "mid", "fast"} {
+		if results[i].Report == nil || results[i].Report.ID != want {
+			t.Fatalf("result %d = %+v, want report %q", i, results[i], want)
+		}
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	stuck := &Entry{ID: "stuck", Title: "never finishes", Run: func(o Options) *Report {
+		<-block
+		return NewReport("stuck", "late")
+	}}
+	ok := &Entry{ID: "ok", Title: "fine", Run: func(o Options) *Report {
+		return NewReport("ok", "fine")
+	}}
+	r := &Runner{Jobs: 2, Timeout: 20 * time.Millisecond}
+	results := r.Run([]Job{{Entry: stuck}, {Entry: ok}})
+	if !results[0].TimedOut || results[0].Err == nil || results[0].Report != nil {
+		t.Fatalf("stuck run not reported as timeout: %+v", results[0])
+	}
+	if !strings.Contains(results[0].Err.Error(), "timeout") {
+		t.Errorf("timeout error = %v", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Report == nil {
+		t.Fatalf("healthy run was collateral damage: %+v", results[1])
+	}
+}
+
+func TestRunnerPanicIsolation(t *testing.T) {
+	boom := &Entry{ID: "boom", Title: "panics", Run: func(o Options) *Report {
+		panic("synthetic failure")
+	}}
+	ok := &Entry{ID: "ok", Title: "fine", Run: func(o Options) *Report {
+		return NewReport("ok", "fine")
+	}}
+	results := (&Runner{Jobs: 1}).Run([]Job{{Entry: boom}, {Entry: ok}, {Entry: boom}})
+	for _, i := range []int{0, 2} {
+		if results[i].Err == nil || !strings.Contains(results[i].Err.Error(), "panicked") {
+			t.Fatalf("result %d: panic not captured: %+v", i, results[i])
+		}
+	}
+	if results[1].Err != nil || results[1].Report == nil {
+		t.Fatalf("panic killed an unrelated run: %+v", results[1])
+	}
+}
+
+func TestExpandIDs(t *testing.T) {
+	jobs, err := ExpandIDs([]string{"fig1", "tab3"}, Options{Quick: true, Seed: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("len(jobs) = %d, want 6", len(jobs))
+	}
+	// Experiment-major order, seeds counting up from the base seed.
+	for i, want := range []struct {
+		id   string
+		seed int64
+	}{{"fig1", 5}, {"fig1", 6}, {"fig1", 7}, {"tab3", 5}, {"tab3", 6}, {"tab3", 7}} {
+		if jobs[i].Entry.ID != want.id || jobs[i].Opts.Seed != want.seed {
+			t.Errorf("job %d = (%s, seed %d), want (%s, seed %d)",
+				i, jobs[i].Entry.ID, jobs[i].Opts.Seed, want.id, want.seed)
+		}
+		if !jobs[i].Opts.Quick {
+			t.Errorf("job %d lost Quick", i)
+		}
+	}
+	if _, err := ExpandIDs([]string{"nope"}, Options{}, 1); err == nil {
+		t.Fatal("unknown id not rejected")
+	}
+}
+
+func TestAllIDsMatchesRegistry(t *testing.T) {
+	ids := AllIDs()
+	if len(ids) != len(All) {
+		t.Fatalf("AllIDs len %d, registry %d", len(ids), len(All))
+	}
+	for i := range ids {
+		if ids[i] != All[i].ID {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], All[i].ID)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "container/heap"
+
+// This file preserves the pre-arena event queue — a container/heap of
+// *eventItem, exactly as the engine shipped before the slab rewrite — as a
+// test-only baseline so the BenchmarkEngine* suite can quantify the win.
+// It is never compiled into the library.
+
+type eventItem struct {
+	at        Time
+	seq       uint64
+	fn        Event
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*eventItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// baselineEngine is the old binary-heap engine, API-compatible with the
+// subset the benchmarks drive.
+type baselineEngine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+func (e *baselineEngine) At(t Time, fn Event) *eventItem {
+	it := &eventItem{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, it)
+	return it
+}
+
+func (e *baselineEngine) Cancel(it *eventItem) bool {
+	if it == nil || it.cancelled || it.index == -1 {
+		return false
+	}
+	it.cancelled = true
+	return true
+}
+
+func (e *baselineEngine) Step() bool {
+	for len(e.events) > 0 {
+		it := heap.Pop(&e.events).(*eventItem)
+		if it.cancelled {
+			continue
+		}
+		e.now = it.at
+		it.fn()
+		return true
+	}
+	return false
+}
+
+func (e *baselineEngine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "testing"
+
+// The BenchmarkEngine* suite measures the three scheduler hot paths —
+// schedule+fire, schedule+cancel, and bulk churn — for the arena engine
+// and for the preserved container/heap baseline (bench_baseline_test.go).
+// CI runs these with -benchmem; the arena engine must stay well below the
+// baseline's allocs/op (the acceptance bar is a ≥30% reduction).
+
+// noop is a shared callback so closure allocation does not pollute the
+// per-event numbers.
+var noop = func() {}
+
+// steady-state schedule→fire of a single outstanding event: the arena
+// engine reuses one slot forever, the baseline allocates per event.
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Nanosecond, noop)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineScheduleFireBaseline(b *testing.B) {
+	b.ReportAllocs()
+	var e baselineEngine
+	for i := 0; i < b.N; i++ {
+		e.At(e.now+Nanosecond, noop)
+		e.Step()
+	}
+}
+
+// schedule→cancel→drain: exercises lazy deletion and free-list reuse of
+// cancelled slots.
+
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	e := New()
+	for i := 0; i < b.N; i++ {
+		h := e.At(e.Now()+Nanosecond, noop)
+		e.Cancel(h)
+		e.Step() // pops the cancelled slot back onto the free list
+	}
+}
+
+func BenchmarkEngineScheduleCancelBaseline(b *testing.B) {
+	b.ReportAllocs()
+	var e baselineEngine
+	for i := 0; i < b.N; i++ {
+		it := e.At(e.now+Nanosecond, noop)
+		e.Cancel(it)
+		e.Step()
+	}
+}
+
+// churn with a deep queue: 1024 outstanding events, each firing schedules
+// a successor, so the heap stays hot at depth log₄(1024) vs log₂(1024).
+
+func benchChurn(b *testing.B, depth int) {
+	b.ReportAllocs()
+	e := New()
+	var self func()
+	self = func() { e.After(Microsecond, self) }
+	for j := 0; j < depth; j++ {
+		e.After(Duration(j)*Nanosecond, self)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineChurn1k(b *testing.B) { benchChurn(b, 1024) }
+
+func BenchmarkEngineChurn1kBaseline(b *testing.B) {
+	b.ReportAllocs()
+	var e baselineEngine
+	var self func()
+	self = func() { e.At(e.now+Microsecond, self) }
+	for j := 0; j < 1024; j++ {
+		e.At(Duration(j)*Nanosecond, self)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// the original whole-engine benchmark: build, fill, drain.
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j), noop)
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkEngineScheduleRunBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e baselineEngine
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j), noop)
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+// A generic, index-free 4-ary heap. Unlike container/heap, items are plain
+// values (no any-boxing, no per-item heap-index bookkeeping) and the
+// comparator is a concrete type parameter, so calls monomorphize and the
+// hot path allocates nothing beyond the backing slice.
+//
+// A 4-ary layout halves the tree depth of a binary heap: sift-up does half
+// the comparisons, and sift-down touches at most 4 children per level that
+// share a cache line when T is small (the engine stores int32 slot ids).
+
+// quadLess orders heap elements. Implementations should be small concrete
+// structs so the generic functions devirtualize.
+type quadLess[T any] interface {
+	Less(a, b T) bool
+}
+
+// quadPush appends x and restores heap order, returning the new slice.
+func quadPush[T any, L quadLess[T]](less L, h []T, x T) []T {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less.Less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// quadPop removes and returns the minimum element. The heap must be
+// non-empty.
+func quadPop[T any, L quadLess[T]](less L, h []T) (T, []T) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	var zero T
+	h[n] = zero
+	h = h[:n]
+	if n > 1 {
+		quadSiftDown(less, h, 0)
+	}
+	return top, h
+}
+
+// quadSiftDown restores heap order below position i.
+func quadSiftDown[T any, L quadLess[T]](less L, h []T, i int) {
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less.Less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !less.Less(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type intLess struct{}
+
+func (intLess) Less(a, b int) bool { return a < b }
+
+// Property: pushing any multiset of ints and popping them all yields the
+// sorted order — i.e. the 4-ary heap is a correct priority queue.
+func TestQuadHeapSortsProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		var h []int
+		for _, x := range xs {
+			h = quadPush(intLess{}, h, x)
+		}
+		got := make([]int, 0, len(xs))
+		for len(h) > 0 {
+			var x int
+			x, h = quadPop(intLess{}, h)
+			got = append(got, x)
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Interleaved pushes and pops must always pop the current minimum.
+func TestQuadHeapInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h []int
+	var mirror []int
+	for op := 0; op < 5000; op++ {
+		if len(mirror) == 0 || rng.Intn(3) > 0 {
+			x := rng.Intn(1000)
+			h = quadPush(intLess{}, h, x)
+			mirror = append(mirror, x)
+		} else {
+			var got int
+			got, h = quadPop(intLess{}, h)
+			sort.Ints(mirror)
+			if got != mirror[0] {
+				t.Fatalf("op %d: popped %d, want min %d", op, got, mirror[0])
+			}
+			mirror = mirror[1:]
+		}
+	}
+}

@@ -4,14 +4,18 @@
 // exactly representable; the int64 horizon (~106 days) far exceeds any
 // experiment length.
 //
-// The engine is deliberately minimal: a binary-heap event queue with
+// The engine is deliberately minimal: a 4-ary-heap event queue with
 // deterministic FIFO tie-breaking for events scheduled at the same instant,
 // plus cancellable timers. Determinism matters because the evaluation
 // compares schemes on identical traffic traces.
+//
+// Events live in a slab-allocated arena: fired and cancelled slots go on a
+// free list and are reused, so steady-state scheduling performs no heap
+// allocation at all. Handles are generation-checked, which makes stale
+// cancels (after the event fired, or after its slot was reused) safe no-ops.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -61,51 +65,51 @@ func DurationFromSeconds(s float64) Duration { return Duration(s * float64(Secon
 type Event func()
 
 // Handle identifies a scheduled event so it can be cancelled. The zero
-// Handle is invalid.
+// Handle is invalid. Handles are generation-checked: once the event fires
+// or is cancelled, the handle goes stale and every operation on it is a
+// safe no-op, even after the engine reuses the event's arena slot.
 type Handle struct {
-	item *eventItem
+	e   *Engine
+	idx int32
+	gen uint32
 }
 
-// Valid reports whether the handle refers to an event that was scheduled
-// and has not been cancelled. A handle stays valid after its event fires;
-// cancelling a fired event is a no-op.
-func (h Handle) Valid() bool { return h.item != nil }
+// Valid reports whether the handle refers to an event that is still
+// pending: scheduled, not yet fired, and not cancelled. A handle goes
+// invalid the moment its event fires or is cancelled.
+func (h Handle) Valid() bool {
+	if h.e == nil || int(h.idx) >= len(h.e.slots) {
+		return false
+	}
+	return h.e.slots[h.idx].gen == h.gen
+}
 
-type eventItem struct {
+// eventSlot is one arena entry. A slot is in exactly one of three states:
+// pending (referenced by the heap, live), cancelled (still referenced by
+// the heap until popped), or free (linked into the free list via nextFree).
+// gen increments whenever the slot's event fires or is cancelled, which
+// invalidates all outstanding Handles to it.
+type eventSlot struct {
 	at        Time
 	seq       uint64 // FIFO tie-break for equal times
 	fn        Event
+	gen       uint32
 	cancelled bool
-	index     int // heap index, -1 once popped
+	nextFree  int32 // free-list link, 1-based; 0 terminates
 }
 
-type eventHeap []*eventItem
+// slotOrder compares heap entries (arena indices) by time, then FIFO
+// sequence. It is a value type so the generic heap calls devirtualize.
+type slotOrder struct {
+	slots []eventSlot
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (o slotOrder) Less(a, b int32) bool {
+	sa, sb := &o.slots[a], &o.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*eventItem)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
+	return sa.seq < sb.seq
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
@@ -114,11 +118,33 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	slots   []eventSlot // event arena
+	free    int32       // free-list head, 1-based; 0 = empty
+	queue   []int32     // 4-ary heap of arena indices
 	stopped bool
 	// Processed counts events executed so far; useful for runaway
 	// detection in tests.
 	Processed uint64
+}
+
+// alloc returns an arena slot index, reusing a freed slot when possible.
+func (e *Engine) alloc() int32 {
+	if e.free != 0 {
+		idx := e.free - 1
+		e.free = e.slots[idx].nextFree
+		return idx
+	}
+	e.slots = append(e.slots, eventSlot{})
+	return int32(len(e.slots) - 1)
+}
+
+// release returns a slot (already popped from the heap) to the free list.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.cancelled = false
+	s.nextFree = e.free
+	e.free = idx + 1
 }
 
 // New returns a new Engine at time zero.
@@ -129,7 +155,7 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events still queued (including cancelled
 // events that have not yet been popped).
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it would silently reorder causality, which in a network
@@ -142,10 +168,14 @@ func (e *Engine) At(t Time, fn Event) Handle {
 	if fn == nil {
 		panic("sim: nil event")
 	}
-	it := &eventItem{at: t, seq: e.seq, fn: fn}
+	idx := e.alloc()
+	s := &e.slots[idx]
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
 	e.seq++
-	heap.Push(&e.events, it)
-	return Handle{item: it}
+	e.queue = quadPush(slotOrder{e.slots}, e.queue, idx)
+	return Handle{e: e, idx: idx, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -157,13 +187,18 @@ func (e *Engine) After(d Duration, fn Event) Handle {
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an already
-// fired or already cancelled event is a no-op. Cancel reports whether the
-// event was actually descheduled.
+// fired or already cancelled event — or a handle from another engine — is
+// a no-op. Cancel reports whether the event was actually descheduled.
 func (e *Engine) Cancel(h Handle) bool {
-	if h.item == nil || h.item.cancelled || h.item.index == -1 {
+	if e == nil || h.e != e || int(h.idx) >= len(e.slots) {
 		return false
 	}
-	h.item.cancelled = true
+	s := &e.slots[h.idx]
+	if s.gen != h.gen {
+		return false // already fired, cancelled, or slot reused
+	}
+	s.cancelled = true
+	s.gen++ // invalidate outstanding handles
 	return true
 }
 
@@ -173,14 +208,20 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		it := heap.Pop(&e.events).(*eventItem)
-		if it.cancelled {
+	for len(e.queue) > 0 {
+		var idx int32
+		idx, e.queue = quadPop(slotOrder{e.slots}, e.queue)
+		s := &e.slots[idx]
+		if s.cancelled {
+			e.release(idx)
 			continue
 		}
-		e.now = it.at
+		e.now = s.at
+		fn := s.fn
+		s.gen++ // the event is firing; invalidate handles
+		e.release(idx)
 		e.Processed++
-		it.fn()
+		fn()
 		return true
 	}
 	return false
@@ -201,13 +242,15 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 {
+		if len(e.queue) == 0 {
 			break
 		}
 		// Peek.
-		next := e.events[0]
+		next := &e.slots[e.queue[0]]
 		if next.cancelled {
-			heap.Pop(&e.events)
+			var idx int32
+			idx, e.queue = quadPop(slotOrder{e.slots}, e.queue)
+			e.release(idx)
 			continue
 		}
 		if next.at > deadline {
@@ -246,13 +289,13 @@ func (e *Engine) Every(period Duration, fn Event) (stop func()) {
 // PendingTimes returns the scheduled times of up to n pending events, in
 // no particular order. It is a diagnostic aid for finding event leaks.
 func (e *Engine) PendingTimes(n int) []Time {
-	if n > len(e.events) {
-		n = len(e.events)
+	if n > len(e.queue) {
+		n = len(e.queue)
 	}
 	out := make([]Time, 0, n)
-	for _, it := range e.events[:n] {
-		if !it.cancelled {
-			out = append(out, it.at)
+	for _, idx := range e.queue[:n] {
+		if s := &e.slots[idx]; !s.cancelled {
+			out = append(out, s.at)
 		}
 	}
 	return out

@@ -163,6 +163,65 @@ func TestHandleValid(t *testing.T) {
 	if !h.Valid() {
 		t.Error("scheduled Handle not Valid")
 	}
+	e.Run()
+	if h.Valid() {
+		t.Error("Handle still Valid after its event fired")
+	}
+	h2 := e.At(2, func() {})
+	e.Cancel(h2)
+	if h2.Valid() {
+		t.Error("Handle still Valid after Cancel")
+	}
+}
+
+// A stale handle must stay inert even after the engine reuses its arena
+// slot for a new event: the generation check has to protect the newcomer.
+func TestHandleStaleAfterSlotReuse(t *testing.T) {
+	e := New()
+	h := e.At(1*Nanosecond, func() {})
+	e.Run() // fires; slot goes on the free list
+	ran := false
+	h2 := e.At(2*Nanosecond, func() { ran = true })
+	if h.Valid() {
+		t.Error("stale handle Valid after slot reuse")
+	}
+	if e.Cancel(h) {
+		t.Error("stale handle cancelled the reused slot's event")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("new event did not run — stale cancel hit it")
+	}
+	_ = h2
+}
+
+// Cancelling a handle that belongs to a different engine is a no-op.
+func TestCancelForeignHandle(t *testing.T) {
+	a, b := New(), New()
+	h := a.At(1, func() {})
+	if b.Cancel(h) {
+		t.Error("engine cancelled another engine's handle")
+	}
+	if !a.Cancel(h) {
+		t.Error("owning engine failed to cancel")
+	}
+}
+
+// The arena must reuse slots: heavy schedule/fire churn through a bounded
+// number of outstanding events must not grow the slab.
+func TestArenaSlotReuse(t *testing.T) {
+	e := New()
+	for i := 0; i < 10_000; i++ {
+		e.At(e.Now()+Nanosecond, func() {})
+		if i%3 == 0 { // sprinkle cancels through the churn
+			e.Cancel(e.At(e.Now()+2*Nanosecond, func() {}))
+		}
+		for e.Step() {
+		}
+	}
+	if n := len(e.slots); n > 8 {
+		t.Fatalf("arena grew to %d slots for ≤2 outstanding events", n)
+	}
 }
 
 func TestEngineStop(t *testing.T) {
@@ -324,17 +383,6 @@ func TestEngineCancelProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
-	}
-}
-
-func BenchmarkEngineScheduleRun(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e := New()
-		for j := 0; j < 1000; j++ {
-			e.At(Time(j), func() {})
-		}
-		e.Run()
 	}
 }
 
