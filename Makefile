@@ -4,7 +4,7 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check golden
+.PHONY: ci build vet fmt-check test race bench check golden chaos
 
 ci: build vet fmt-check test race bench check
 	@echo "CI gate passed"
@@ -35,3 +35,7 @@ check:
 
 golden:
 	$(GO) run ./cmd/ufabsim check -update
+
+# The fault-injection suite (internal/chaos) at full scale.
+chaos:
+	$(GO) run ./cmd/ufabsim run flap gray restart churn chaoslab

@@ -11,6 +11,7 @@
 //	ufabsim -jobs 8 run all      # run up to 8 experiments in parallel
 //	ufabsim -repeat 3 run fig4   # 3 runs with seeds seed, seed+1, seed+2
 //	ufabsim tables               # just the resource-model tables
+//	ufabsim -scenario f.json run chaoslab  # replay a fault scenario
 //	ufabsim check                # replay evaluation vs golden_metrics.json
 //	ufabsim check -update        # re-record the golden baseline
 //
@@ -25,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"ufab/internal/chaos"
 	"ufab/internal/experiments"
 )
 
@@ -35,6 +37,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent experiment runs (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 	repeat := flag.Int("repeat", 1, "runs per experiment, with seeds seed..seed+repeat-1")
+	scenario := flag.String("scenario", "", "chaos scenario JSON file, replayed by the chaoslab experiment")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -43,6 +46,18 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *scenario != "" {
+		b, err := os.ReadFile(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read scenario: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := chaos.Parse(b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Scenario = string(b)
+	}
 	runner := &experiments.Runner{Jobs: *jobs, Timeout: *timeout}
 	exportCSV = *csvDir
 	switch args[0] {

@@ -12,6 +12,7 @@ package dataplane
 
 import (
 	"fmt"
+	mrand "math/rand"
 
 	"ufab/internal/sim"
 	"ufab/internal/topo"
@@ -107,6 +108,11 @@ type Config struct {
 	ECMP ECMPMode
 	// HashSeed perturbs the ECMP hash.
 	HashSeed uint64
+	// FaultSeed seeds the RNG behind probabilistic link faults (random
+	// loss, probe drop/corruption). Runs are deterministic per seed; the
+	// RNG is only consulted while a probabilistic degradation is active,
+	// so fault-free runs are bit-identical to pre-fault builds.
+	FaultSeed int64
 }
 
 // ECMPMode selects how switches hash flows onto equal-cost next hops.
@@ -133,6 +139,8 @@ type Port struct {
 	ecnBytes int
 	// Drops counts tail-dropped packets.
 	Drops uint64
+	// FaultDrops counts packets lost to link faults (down or lossy).
+	FaultDrops uint64
 	// TxPackets and TxBytes count completed transmissions.
 	TxPackets, TxBytes uint64
 	// MaxQueueBytes tracks the high-water mark for queue CDFs.
@@ -220,21 +228,29 @@ type Network struct {
 	handlers []Handler     // indexed by NodeID (hosts)
 	agents   []SwitchAgent // indexed by NodeID (switches)
 	failed   []bool        // indexed by NodeID
+	faults   []linkFault   // indexed by LinkID
+	faultRng *mrand.Rand   // drives probabilistic link faults
 
 	// dist[h] is the hop distance from every node to host h, for ECMP;
 	// computed lazily per destination.
 	dist map[topo.NodeID][]int32
 
-	// TotalDrops counts packets dropped anywhere (queue overflow or
-	// failed node).
+	// TotalDrops counts packets dropped anywhere (queue overflow, failed
+	// node, or link fault).
 	TotalDrops uint64
+	// FaultDrops counts the subset of TotalDrops caused by link faults.
+	FaultDrops uint64
+	// CorruptedProbes counts probe payloads mangled by a gray link.
+	CorruptedProbes uint64
 	// Trace, if non-nil, observes every host delivery (testing hook).
 	Trace func(at topo.NodeID, pkt *Packet)
 	// OnFailDrop, if non-nil, runs when a packet is dropped because its
-	// next hop (or the local node) has failed — the hook a
-	// BFD-detecting switch uses to bounce failure notifications
-	// (probe type 4) back to the source.
-	OnFailDrop func(pkt *Packet, at topo.NodeID)
+	// next hop (or the local node, or the link between them) has failed.
+	// `at` is the node that detects the drop (the switch whose BFD sees
+	// the failure and can bounce a type-4 failure notification back to
+	// the source); `failed` is the node that actually failed or became
+	// unreachable.
+	OnFailDrop func(pkt *Packet, at, failed topo.NodeID)
 }
 
 // New builds a Network over g driven by eng.
@@ -253,6 +269,8 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 		handlers: make([]Handler, len(g.Nodes)),
 		agents:   make([]SwitchAgent, len(g.Nodes)),
 		failed:   make([]bool, len(g.Nodes)),
+		faults:   make([]linkFault, len(g.Links)),
+		faultRng: mrand.New(mrand.NewSource(cfg.FaultSeed ^ 0x5fa017b8c2d94e63)),
 		dist:     make(map[topo.NodeID][]int32),
 	}
 	for i := range n.Ports {
@@ -283,15 +301,35 @@ func (n *Network) SetSwitchAgent(sw topo.NodeID, a SwitchAgent) {
 	n.agents[sw] = a
 }
 
+// validNode reports whether id indexes a real node.
+func (n *Network) validNode(id topo.NodeID) bool {
+	return int(id) >= 0 && int(id) < len(n.failed)
+}
+
 // FailNode marks a node as failed: packets arriving at it or queued to
-// leave it are dropped. Fig 15 fails Core1 at t = 90 ms.
-func (n *Network) FailNode(id topo.NodeID) { n.failed[id] = true }
+// leave it are dropped. Fig 15 fails Core1 at t = 90 ms. An out-of-range
+// id is a no-op returning false rather than a panic mid-simulation.
+func (n *Network) FailNode(id topo.NodeID) bool {
+	if !n.validNode(id) {
+		return false
+	}
+	n.failed[id] = true
+	return true
+}
 
-// RecoverNode clears a failure.
-func (n *Network) RecoverNode(id topo.NodeID) { n.failed[id] = false }
+// RecoverNode clears a failure (false for out-of-range ids).
+func (n *Network) RecoverNode(id topo.NodeID) bool {
+	if !n.validNode(id) {
+		return false
+	}
+	n.failed[id] = false
+	return true
+}
 
-// Failed reports whether a node is failed.
-func (n *Network) Failed(id topo.NodeID) bool { return n.failed[id] }
+// Failed reports whether a node is failed (false for out-of-range ids).
+func (n *Network) Failed(id topo.NodeID) bool {
+	return n.validNode(id) && n.failed[id]
+}
 
 // Send injects a source-routed packet at the source of its route's first
 // link. The caller must have set Route; Hop must be 0.
@@ -320,8 +358,17 @@ func (n *Network) enqueue(pkt *Packet, lid topo.LinkID) {
 	if n.failed[port.Link.Src] || n.failed[port.Link.Dst] {
 		n.TotalDrops++
 		if n.OnFailDrop != nil {
-			n.OnFailDrop(pkt, port.Link.Src)
+			// Report the node that actually failed; when the local node
+			// itself is dead that is Src, otherwise the far end.
+			failed := port.Link.Dst
+			if n.failed[port.Link.Src] {
+				failed = port.Link.Src
+			}
+			n.OnFailDrop(pkt, port.Link.Src, failed)
 		}
+		return
+	}
+	if !n.faultFilter(pkt, port) {
 		return
 	}
 	// Switch agent hook (INT read/write) fires at enqueue time on
@@ -353,15 +400,16 @@ func (n *Network) startTx(port *Port) {
 	port.queue = port.queue[1:]
 	port.queueBytes -= pkt.Size
 	port.busy = true
-	ser := topo.SerializationDelay(pkt.Size, port.Link.Capacity)
+	ser := topo.SerializationDelay(pkt.Size, n.effectiveCapacity(port))
 	n.Eng.After(ser, func() {
 		port.busy = false
 		port.TxPackets++
 		port.TxBytes += uint64(pkt.Size)
 		port.rate.add(n.Eng.Now(), pkt.Size)
-		// Propagate to the far end.
+		// Propagate to the far end (a gray fault may add latency).
 		dst := port.Link.Dst
-		n.Eng.After(port.Link.PropDelay, func() { n.arrive(pkt, dst) })
+		prop := port.Link.PropDelay + n.faults[port.Link.ID].deg.ExtraDelay
+		n.Eng.After(prop, func() { n.arrive(pkt, dst) })
 		if len(port.queue) > 0 {
 			n.startTx(port)
 		}
@@ -442,7 +490,7 @@ func (n *Network) ecmpNext(at topo.NodeID, pkt *Packet) topo.LinkID {
 	var candidates []topo.LinkID
 	for _, lid := range n.G.Node(at).Out {
 		to := n.G.Link(lid).Dst
-		if d[to] == d[at]-1 && !n.failed[to] {
+		if d[to] == d[at]-1 && !n.failed[to] && !n.faults[lid].down {
 			candidates = append(candidates, lid)
 		}
 	}

@@ -1,0 +1,149 @@
+package dataplane
+
+import (
+	"ufab/internal/sim"
+	"ufab/internal/topo"
+)
+
+// Degradation describes a gray link fault: the link stays up (BFD keeps
+// passing) but misbehaves. Zero fields leave the corresponding aspect
+// untouched, so a Degradation is composable from any subset of symptoms.
+type Degradation struct {
+	// CapacityScale in (0, 1) scales the effective line rate (e.g. an
+	// autoneg downshift or a failing lane); 0 or >= 1 means full rate.
+	CapacityScale float64 `json:"capacity_scale,omitempty"`
+	// ExtraDelay is added to the link's propagation delay.
+	ExtraDelay sim.Duration `json:"extra_delay_ps,omitempty"`
+	// LossProb drops any packet entering the link with this probability.
+	LossProb float64 `json:"loss_prob,omitempty"`
+	// ProbeDropProb additionally drops probe/response packets — the
+	// "control plane starves while data flows" failure mode.
+	ProbeDropProb float64 `json:"probe_drop_prob,omitempty"`
+	// ProbeCorruptProb flips a random payload byte of probe/response
+	// packets instead of dropping them; agents must survive the garbage.
+	ProbeCorruptProb float64 `json:"probe_corrupt_prob,omitempty"`
+}
+
+// active reports whether any symptom is configured.
+func (d *Degradation) active() bool {
+	return d.CapacityScale > 0 || d.ExtraDelay > 0 || d.LossProb > 0 ||
+		d.ProbeDropProb > 0 || d.ProbeCorruptProb > 0
+}
+
+// linkFault is the per-link fault state, distinct from node failure: the
+// endpoints stay alive while the link itself is down or degraded.
+type linkFault struct {
+	down bool
+	deg  Degradation
+}
+
+func (f *linkFault) clear() bool { return !f.down && !f.deg.active() }
+
+// validLink reports whether l indexes a real link.
+func (n *Network) validLink(l topo.LinkID) bool {
+	return int(l) >= 0 && int(l) < len(n.faults)
+}
+
+// FailLink takes a directional link down: packets entering it are
+// dropped (and reported through OnFailDrop) while both endpoints stay
+// alive, and ECMP stops choosing it. Returns false for an out-of-range
+// id.
+func (n *Network) FailLink(l topo.LinkID) bool {
+	if !n.validLink(l) {
+		return false
+	}
+	n.faults[l].down = true
+	return true
+}
+
+// RecoverLink brings a downed link back; any degradation persists.
+func (n *Network) RecoverLink(l topo.LinkID) bool {
+	if !n.validLink(l) {
+		return false
+	}
+	n.faults[l].down = false
+	return true
+}
+
+// LinkFailed reports whether a link is down (false for bad ids).
+func (n *Network) LinkFailed(l topo.LinkID) bool {
+	return n.validLink(l) && n.faults[l].down
+}
+
+// DegradeLink applies a gray fault to a link, replacing any previous
+// degradation. Returns false for an out-of-range id.
+func (n *Network) DegradeLink(l topo.LinkID, d Degradation) bool {
+	if !n.validLink(l) {
+		return false
+	}
+	n.faults[l].deg = d
+	return true
+}
+
+// RestoreLink clears a link's degradation (but not its down state).
+func (n *Network) RestoreLink(l topo.LinkID) bool {
+	if !n.validLink(l) {
+		return false
+	}
+	n.faults[l].deg = Degradation{}
+	return true
+}
+
+// LinkDegraded reports whether a link carries a gray fault.
+func (n *Network) LinkDegraded(l topo.LinkID) bool {
+	return n.validLink(l) && n.faults[l].deg.active()
+}
+
+// effectiveCapacity is the link line rate after any degradation.
+func (n *Network) effectiveCapacity(port *Port) float64 {
+	c := port.Link.Capacity
+	if s := n.faults[port.Link.ID].deg.CapacityScale; s > 0 && s < 1 {
+		c *= s
+	}
+	return c
+}
+
+// faultFilter applies the link's fault state to a packet about to enter
+// it. It returns false when the packet is dropped. Corruption mutates a
+// copy of the payload so shared probe buffers are never aliased.
+func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
+	f := &n.faults[port.Link.ID]
+	if f.clear() {
+		return true
+	}
+	if f.down {
+		port.FaultDrops++
+		n.FaultDrops++
+		n.TotalDrops++
+		if n.OnFailDrop != nil {
+			// The near end detects the dark link; from its viewpoint the
+			// far end is unreachable.
+			n.OnFailDrop(pkt, port.Link.Src, port.Link.Dst)
+		}
+		return false
+	}
+	d := &f.deg
+	if d.LossProb > 0 && n.faultRng.Float64() < d.LossProb {
+		port.FaultDrops++
+		n.FaultDrops++
+		n.TotalDrops++
+		return false
+	}
+	if pkt.Kind == Probe || pkt.Kind == Response {
+		if d.ProbeDropProb > 0 && n.faultRng.Float64() < d.ProbeDropProb {
+			port.FaultDrops++
+			n.FaultDrops++
+			n.TotalDrops++
+			return false
+		}
+		if d.ProbeCorruptProb > 0 && len(pkt.Payload) > 0 && n.faultRng.Float64() < d.ProbeCorruptProb {
+			b := make([]byte, len(pkt.Payload))
+			copy(b, pkt.Payload)
+			i := n.faultRng.Intn(len(b))
+			b[i] ^= 1 << uint(n.faultRng.Intn(8))
+			pkt.Payload = b
+			n.CorruptedProbes++
+		}
+	}
+	return true
+}

@@ -35,6 +35,11 @@ type Options struct {
 	Quick bool `json:"quick"`
 	// Seed drives all randomness; runs are deterministic per seed.
 	Seed int64 `json:"seed"`
+	// Scenario, when non-empty, is a chaos scenario as JSON (see
+	// internal/chaos). Only the chaoslab experiment consumes it; the
+	// regression baseline is recorded with it empty, so the field is
+	// omitted from golden_metrics.json.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Report is an experiment's structured result.

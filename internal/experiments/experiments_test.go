@@ -24,7 +24,7 @@ func quick(t *testing.T, id string) *Report {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-		"tab3", "tab4", "abl"}
+		"tab3", "tab4", "abl", "flap", "gray", "restart", "churn", "chaoslab"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
 	}
@@ -262,6 +262,98 @@ func TestAblationShape(t *testing.T) {
 	// Probing overhead grows as L_w shrinks.
 	if rep.Metrics["lw1024_overhead_pct"] <= rep.Metrics["lw16384_overhead_pct"] {
 		t.Error("L_w sweep shows no overhead gradient")
+	}
+}
+
+func TestFaultFlapShape(t *testing.T) {
+	rep := quick(t, "flap")
+	if rep.Metrics["satisfied"] < 3 {
+		t.Errorf("only %v/4 incast guarantees survived the flaps", rep.Metrics["satisfied"])
+	}
+	if rep.Metrics["migrations"] == 0 {
+		t.Error("no migrations despite a flapping core path")
+	}
+	if rep.Metrics["flaps_applied"] == 0 {
+		t.Error("no flap events applied")
+	}
+	// The intra-ToR control tenant never crosses the flapped link.
+	if rep.Metrics["ctrl_gbps"] < 5 {
+		t.Errorf("control tenant collapsed to %v G", rep.Metrics["ctrl_gbps"])
+	}
+}
+
+func TestFaultGrayShape(t *testing.T) {
+	rep := quick(t, "gray")
+	if rep.Metrics["degrades_applied"] != 1 {
+		t.Errorf("degrades_applied = %v", rep.Metrics["degrades_applied"])
+	}
+	if rep.Metrics["fault_drops"] == 0 {
+		t.Error("lossy gray link dropped nothing")
+	}
+	if rep.Metrics["corrupted_probes"] == 0 {
+		t.Error("probe corruption filter never fired")
+	}
+	if rep.Metrics["ctrl_gbps"] < 5 {
+		t.Errorf("control tenant collapsed to %v G", rep.Metrics["ctrl_gbps"])
+	}
+}
+
+func TestFaultRestartShape(t *testing.T) {
+	rep := quick(t, "restart")
+	if rep.Metrics["restarts"] != 4 {
+		t.Errorf("restarts = %v, want 4", rep.Metrics["restarts"])
+	}
+	if rep.Metrics["phi_before"] <= 0 {
+		t.Error("Φ register empty before the restart")
+	}
+	if rep.Metrics["phi_after_wipe"] != 0 {
+		t.Errorf("Φ register %v right after the wipe, want 0", rep.Metrics["phi_after_wipe"])
+	}
+	// Re-registration must rebuild Φ to its pre-restart value — not zero
+	// (no rebuild) and not above it (double-counting).
+	if rep.Metrics["phi_rebuilt"] <= 0 || rep.Metrics["phi_rebuilt"] > rep.Metrics["phi_before"] {
+		t.Errorf("Φ rebuilt to %v (before: %v)", rep.Metrics["phi_rebuilt"], rep.Metrics["phi_before"])
+	}
+	if rep.Metrics["satisfied"] < 3 {
+		t.Errorf("only %v/4 guarantees survived the restarts", rep.Metrics["satisfied"])
+	}
+}
+
+func TestFaultChurnShape(t *testing.T) {
+	rep := quick(t, "churn")
+	if rep.Metrics["arrivals"] == 0 || rep.Metrics["arrivals"] != rep.Metrics["departures"] {
+		t.Errorf("churn unbalanced: %v arrivals, %v departures",
+			rep.Metrics["arrivals"], rep.Metrics["departures"])
+	}
+	if rep.Metrics["rejected"] != 2 {
+		t.Errorf("rejected = %v, want the 2 invalid events", rep.Metrics["rejected"])
+	}
+	if rep.Metrics["satisfied"] < 3 {
+		t.Errorf("stable guarantees lost under churn: %v/4", rep.Metrics["satisfied"])
+	}
+	// After the storm drains, only the 4 stable incast pairs (20 tokens
+	// each at 2G / 100M BU) may remain registered on S8's downlink.
+	if rep.Metrics["phi_residue"] > 81 {
+		t.Errorf("Φ residue %v after churn, want the stable tenants only", rep.Metrics["phi_residue"])
+	}
+}
+
+func TestChaosLabScenarioOption(t *testing.T) {
+	// The built-in sampler applies every event kind.
+	rep := quick(t, "chaoslab")
+	if rep.Metrics["events_applied"] < 9 {
+		t.Errorf("built-in sampler applied %v events", rep.Metrics["events_applied"])
+	}
+	// A user scenario replaces the built-in one.
+	custom := `{"name":"custom","events":[{"at_ps":1000000,"kind":"node-crash","node":0}]}`
+	rep2 := ChaosLab(Options{Quick: true, Seed: 1, Scenario: custom})
+	if rep2.Metrics["events_applied"] != 1 {
+		t.Errorf("custom scenario applied %v events, want 1", rep2.Metrics["events_applied"])
+	}
+	// A malformed scenario is reported, not fatal.
+	rep3 := ChaosLab(Options{Quick: true, Seed: 1, Scenario: "{nope"})
+	if rep3.Metrics["events_applied"] != 0 {
+		t.Error("malformed scenario was executed")
 	}
 }
 

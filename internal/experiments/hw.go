@@ -4,6 +4,7 @@ package experiments
 // failure; probing overhead) and the Tables 3/4 resource models.
 
 import (
+	"ufab/internal/chaos"
 	"ufab/internal/probe"
 	"ufab/internal/resmodel"
 	"ufab/internal/sim"
@@ -41,7 +42,9 @@ func Fig15(o Options) *Report {
 			flows = append(flows, fl)
 		})
 	}
-	eng.At(failAt, func() { uf.Net.FailNode(tb.Cores[0]) })
+	// The Core1 crash is expressed as a chaos scenario: one NodeCrash
+	// event at failAt, injected at setup so the event time is absolute.
+	inj := uf.ApplyScenario(chaos.New("fig15-core1-crash").CrashNode(sim.Duration(failAt), tb.Cores[0]))
 	stop := uf.StartSampling(250 * sim.Microsecond)
 	eng.RunUntil(dur)
 	stop()
@@ -66,6 +69,10 @@ func Fig15(o Options) *Report {
 	r.Metric("satisfied", float64(satisfied))
 	r.Metric("migrations", float64(migrations))
 	r.Metric("maxq_over_3bdp", maxQ/(3*bdp))
+	for _, rec := range inj.Log {
+		r.Printf("chaos: %s", rec)
+	}
+	r.Metric("fault_events", float64(inj.Applied(chaos.NodeCrash)))
 
 	// ---- (b) probing overhead vs number of VM-pairs ----
 	lw := int64(4096)

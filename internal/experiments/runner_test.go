@@ -11,8 +11,9 @@ import (
 // race-enabled determinism test (the full evaluation is covered by
 // `ufabsim check` in CI, where the race detector's ~10x slowdown does not
 // apply). It spans motivation figures, comparative incast runs, control
-// laws, and both resource-model tables.
-var fastIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig12", "fig19", "tab3", "tab4"}
+// laws, both resource-model tables, and two fault-injection experiments
+// (link flaps and tenant churn) so chaos scheduling stays `-jobs`-proof.
+var fastIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig12", "fig19", "tab3", "tab4", "flap", "churn"}
 
 // TestParallelRunnerDeterminism is the CI gate for the tentpole claim: a
 // parallel batch must produce Reports identical — field for field and

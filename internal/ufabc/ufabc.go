@@ -97,6 +97,8 @@ type Agent struct {
 	links map[topo.LinkID]*linkState
 	// ProbesSeen counts probes processed (telemetry volume accounting).
 	ProbesSeen uint64
+	// Restarts counts Restart calls (fault-injection telemetry).
+	Restarts uint64
 }
 
 // New returns an agent with the given configuration.
@@ -116,6 +118,16 @@ func (a *Agent) StartCleanup(eng *sim.Engine) (stop func()) {
 			ls.windowBytes += dW
 		}
 	})
+}
+
+// Restart models an agent reboot: every per-link register — the hashed
+// active-VM-pair tables and the Φ_l/W_l aggregates — is lost. The next
+// probe of each still-active pair re-registers it, so the registers
+// rebuild within an RTT; because the tables restart empty, cleanup never
+// sees stale pre-restart entries and re-registration cannot double-count.
+func (a *Agent) Restart() {
+	a.links = make(map[topo.LinkID]*linkState)
+	a.Restarts++
 }
 
 func (a *Agent) link(id topo.LinkID) *linkState {
@@ -165,6 +177,11 @@ func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Ti
 	p, _, err := probe.Decode(pkt.Payload)
 	if err != nil {
 		return // malformed probe: forward without touching registers
+	}
+	if !(p.Phi >= 0 && p.Phi < 1e12) {
+		// A corrupted payload can decode into a NaN/Inf/absurd φ; keep
+		// such garbage out of the Φ_l register (NaN fails the comparison).
+		return
 	}
 	a.ProbesSeen++
 	ls := a.link(out.Link.ID)

@@ -252,3 +252,61 @@ func TestProbeSizeGrowsPerHop(t *testing.T) {
 		}
 	}
 }
+
+func TestRestartWipesAndRebuildsWithoutDoubleCount(t *testing.T) {
+	eng, net, st, ag, route := testNet(t, Config{})
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 5, Window: 1024})
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 2, Phi: 3, Window: 512})
+	eng.Run()
+	if phi, w := ag.Subscription(route[1]); math.Abs(phi-8) > 1e-6 || w != 1536 {
+		t.Fatalf("pre-restart registers: Φ=%v W=%d", phi, w)
+	}
+	ag.Restart()
+	if ag.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", ag.Restarts)
+	}
+	if phi, w := ag.Subscription(route[1]); phi != 0 || w != 0 {
+		t.Fatalf("post-restart registers not wiped: Φ=%v W=%d", phi, w)
+	}
+	// Each pair re-registers on its next probe; repeated probes after the
+	// rebuild must stay idempotent (no double count against the fresh
+	// table).
+	for i := 0; i < 2; i++ {
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 5, Window: 1024})
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 2, Phi: 3, Window: 512})
+		eng.Run()
+	}
+	if phi, w := ag.Subscription(route[1]); math.Abs(phi-8) > 1e-6 || w != 1536 {
+		t.Fatalf("rebuilt registers: Φ=%v W=%d, want 8/1536", phi, w)
+	}
+}
+
+func TestRestartThenCleanupExpiresStalePairs(t *testing.T) {
+	// Satellite check for silent-quit cleanup × faults: the cleanup loop
+	// keeps operating on the registers an agent rebuilds after a restart.
+	cfg := Config{CleanupPeriod: 10 * sim.Millisecond}
+	eng, net, st, ag, route := testNet(t, cfg)
+	net.SetHandler(st.Hosts[1], dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
+	stop := ag.StartCleanup(eng)
+	defer stop()
+	// VM-pair 1 registers once and never again; VM-pair 2 probes every
+	// 5 ms until t = 25 ms.
+	sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 1, Phi: 5, Window: 1024})
+	aliveStop := eng.Every(5*sim.Millisecond, func() {
+		sendProbe(net, route, &probe.Packet{Kind: probe.KindProbe, VMPair: 2, Phi: 3, Window: 512})
+	})
+	eng.At(12*sim.Millisecond, func() { ag.Restart() })
+	eng.At(25*sim.Millisecond, aliveStop)
+	var phiMid float64
+	eng.At(21*sim.Millisecond, func() { phiMid, _ = ag.Subscription(route[1]) })
+	eng.RunUntil(50 * sim.Millisecond)
+	// Between restart and expiry only the still-probing pair is registered.
+	if math.Abs(phiMid-3) > 1e-6 {
+		t.Errorf("Φ = %v at 21 ms, want 3 (pair 1 wiped by restart, pair 2 rebuilt)", phiMid)
+	}
+	// Once pair 2 goes silent, the post-restart cleanup expires it too.
+	if phi, w := ag.Subscription(route[1]); phi != 0 || w != 0 {
+		t.Errorf("Φ=%v W=%d at 50 ms, want 0/0 (cleanup dead after restart?)", phi, w)
+	}
+}

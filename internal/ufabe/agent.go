@@ -184,6 +184,13 @@ type Agent struct {
 	ProbeBytes uint64
 	DataBytes  uint64
 
+	// Migration telemetry for the fault experiments: completed path
+	// migrations, freeze windows armed by urgent migrations, and
+	// migration attempts suppressed by an active freeze window.
+	Migrations       uint64
+	FreezesArmed     uint64
+	FreezeSuppressed uint64
+
 	tokenLoopStop func()
 }
 
@@ -332,6 +339,24 @@ func (a *Agent) RemovePair(id dataplane.VMPair) {
 			}
 		}
 	}
+}
+
+// RemoveVF deregisters a tenant VF from both the sending and receiving
+// side, tearing down any remaining sender pairs first (finish probes
+// included, so core registers deallocate). Returns false for an unknown
+// VF, allowing churn scenarios to issue departures idempotently.
+func (a *Agent) RemoveVF(id int32) bool {
+	vf := a.vfs[id]
+	if vf == nil {
+		return false
+	}
+	for len(vf.pairs) > 0 {
+		a.RemovePair(vf.pairs[0].ID)
+	}
+	delete(a.vfs, id)
+	delete(a.recvVFTokens, id)
+	a.sched.removeVF(vf)
+	return true
 }
 
 func (p *Pair) maxBaseRTT() sim.Duration {
@@ -739,7 +764,11 @@ const (
 // parallel and decide when the responses are in (§3.5).
 func (a *Agent) beginMigration(p *Pair) {
 	now := a.eng.Now()
-	if p.migrating || now < a.freezeUntil || len(p.paths) < 2 {
+	if p.migrating || len(p.paths) < 2 {
+		return
+	}
+	if now < a.freezeUntil {
+		a.FreezeSuppressed++
 		return
 	}
 	p.migrating = true
@@ -886,6 +915,7 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 	})
 	p.active = to
 	p.Migrations++
+	a.Migrations++
 	p.violationStreak = 0
 	p.lastViolationAt = now
 	p.deliveredAtCheck = p.Delivered
@@ -899,6 +929,7 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 		// Freeze window: one migration per [1,N]-RTT window per host.
 		n := 1 + a.rng.Intn(a.cfg.FreezeMaxRTTs)
 		a.freezeUntil = now + sim.Duration(n)*p.paths[to].baseRTT
+		a.FreezesArmed++
 	}
 	a.scheduleSend()
 }

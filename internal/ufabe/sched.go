@@ -54,6 +54,23 @@ func (w *wfq) addVF(vf *vfState) {
 	w.classes[c].vfs = append(w.classes[c].vfs, vf)
 }
 
+func (w *wfq) removeVF(vf *vfState) {
+	cl := &w.classes[vf.class]
+	for i, v := range cl.vfs {
+		if v == vf {
+			cl.vfs = append(cl.vfs[:i], cl.vfs[i+1:]...)
+			// Keep the round-robin cursor in range so the next sweep
+			// starts from a valid VF.
+			if len(cl.vfs) > 0 {
+				cl.rr %= len(cl.vfs)
+			} else {
+				cl.rr = 0
+			}
+			return
+		}
+	}
+}
+
 // eligible reports whether the pair can emit a packet right now.
 func eligible(p *Pair, now int64) bool {
 	if p.Demand == nil || p.Demand.Pending() <= 0 {

@@ -134,8 +134,10 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
 // Appendix-G type-4 failure response, returned to the source along the
 // reverse of the prefix it already traversed. The source edge treats it
 // as an immediate path-death signal instead of waiting out the probe
-// timeout.
-func (f *Fabric) bounceFailure(pkt *dataplane.Packet, at topo.NodeID) {
+// timeout. `at` is the detecting switch (which must itself be alive to
+// bounce anything); `failed` is the node that actually died, unused here
+// because the type-4 response identifies the path, not the hop.
+func (f *Fabric) bounceFailure(pkt *dataplane.Packet, at, failed topo.NodeID) {
 	if pkt.Kind != dataplane.Probe || len(pkt.Payload) == 0 || pkt.Hop <= 0 {
 		return
 	}
