@@ -4,7 +4,7 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check golden chaos
+.PHONY: ci build vet fmt-check test race bench check golden chaos trace
 
 ci: build vet fmt-check test race bench check
 	@echo "CI gate passed"
@@ -25,13 +25,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments -run TestParallelRunnerDeterminism
+	$(GO) test -race ./internal/telemetry
+	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism'
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench.txt
 
+# The golden gate runs twice: instrumentation must never change results.
 check:
 	$(GO) run ./cmd/ufabsim check
+	$(GO) run ./cmd/ufabsim check -telemetry
 
 golden:
 	$(GO) run ./cmd/ufabsim check -update
@@ -39,3 +42,8 @@ golden:
 # The fault-injection suite (internal/chaos) at full scale.
 chaos:
 	$(GO) run ./cmd/ufabsim run flap gray restart churn chaoslab
+
+# Flight-recorder sample: the chaoslab run's event stream as JSONL.
+trace:
+	$(GO) run ./cmd/ufabsim -quick trace chaoslab > trace.jsonl
+	@wc -l < trace.jsonl | xargs -I{} echo "{} events in trace.jsonl"

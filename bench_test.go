@@ -27,8 +27,9 @@ func runExperiment(b *testing.B, id string) {
 	for i := 0; i < b.N; i++ {
 		rep = e.Run(experiments.Options{Quick: true, Seed: 1})
 	}
+	m := rep.Metrics()
 	for _, name := range rep.MetricNames() {
-		b.ReportMetric(rep.Metrics[name], name)
+		b.ReportMetric(m[name], name)
 	}
 }
 

@@ -12,17 +12,24 @@
 //	ufabsim -repeat 3 run fig4   # 3 runs with seeds seed, seed+1, seed+2
 //	ufabsim tables               # just the resource-model tables
 //	ufabsim -scenario f.json run chaoslab  # replay a fault scenario
+//	ufabsim -telemetry -metrics m.json run all  # export registry snapshots
+//	ufabsim trace fig15          # flight-recorder JSONL on stdout
 //	ufabsim check                # replay evaluation vs golden_metrics.json
 //	ufabsim check -update        # re-record the golden baseline
+//	ufabsim check -telemetry     # replay with instrumentation attached
 //
 // Experiment runs are deterministic per (experiment, quick, seed), so a
 // parallel batch produces Reports identical to a sequential one; only the
-// wall-time annotations differ.
+// wall-time annotations differ. Telemetry never feeds back into the
+// simulation, so -telemetry does not change any result either.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -38,6 +45,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock timeout (0 = none)")
 	repeat := flag.Int("repeat", 1, "runs per experiment, with seeds seed..seed+repeat-1")
 	scenario := flag.String("scenario", "", "chaos scenario JSON file, replayed by the chaoslab experiment")
+	telemetry := flag.Bool("telemetry", false, "attach the unified telemetry registry (link/agent instruments + flight recorder) to each run's fabric")
+	metricsOut := flag.String("metrics", "", "write every run's registry snapshot as JSON to this file (implies -telemetry)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -45,7 +55,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed,
+		Telemetry: *telemetry || *metricsOut != ""}
 	if *scenario != "" {
 		b, err := os.ReadFile(*scenario)
 		if err != nil {
@@ -60,6 +78,7 @@ func main() {
 	}
 	runner := &experiments.Runner{Jobs: *jobs, Timeout: *timeout}
 	exportCSV = *csvDir
+	exportMetrics = *metricsOut
 	switch args[0] {
 	case "list":
 		for _, e := range experiments.All {
@@ -73,15 +92,20 @@ func main() {
 			ids = experiments.AllIDs()
 		}
 		run(runner, opts, *repeat, ids...)
+	case "trace":
+		trace(opts, args[1:])
 	case "check":
-		check(runner, args[1:])
+		check(runner, args[1:], opts.Telemetry)
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
-var exportCSV string
+var (
+	exportCSV     string
+	exportMetrics string
+)
 
 // run executes the batch on the worker pool and prints reports in job
 // order (streamed as each ordered prefix completes, via Runner's ordered
@@ -103,7 +127,7 @@ func run(runner *experiments.Runner, opts experiments.Options, repeat int, ids .
 		}
 		rep := res.Report
 		fmt.Print(rep.String())
-		if exportCSV != "" && len(rep.Series) > 0 {
+		if exportCSV != "" && rep.SeriesCount() > 0 {
 			if err := os.MkdirAll(exportCSV, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -112,9 +136,16 @@ func run(runner *experiments.Runner, opts experiments.Options, repeat int, ids .
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Printf("-- %d curves exported to %s --\n", len(rep.Series), exportCSV)
+			fmt.Printf("-- %d curves exported to %s --\n", rep.SeriesCount(), exportCSV)
 		}
 		fmt.Printf("-- wall time %.1fs --\n\n", res.Wall.Seconds())
+	}
+	if exportMetrics != "" {
+		if err := writeMetrics(exportMetrics, results, repeat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- registry snapshots written to %s --\n", exportMetrics)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d/%d runs failed\n", failed, len(results))
@@ -122,13 +153,76 @@ func run(runner *experiments.Runner, opts experiments.Options, repeat int, ids .
 	}
 }
 
+// writeMetrics dumps each run's full registry snapshot (headline metrics,
+// fabric instruments, series) as one JSON object keyed by experiment id —
+// "<id>@seed<seed>" when -repeat ran an id more than once. Key order is
+// job order, so the file is byte-identical regardless of -jobs.
+func writeMetrics(path string, results []experiments.RunResult, repeat int) error {
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	first := true
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		if !first {
+			buf.WriteString(",\n")
+		}
+		first = false
+		key := res.Job.Entry.ID
+		if repeat > 1 {
+			key = fmt.Sprintf("%s@seed%d", key, res.Job.Opts.Seed)
+		}
+		fmt.Fprintf(&buf, "%q: ", key)
+		res.Report.Reg.Snapshot().WriteJSON(&buf)
+	}
+	buf.WriteString("\n}\n")
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// trace runs one experiment with the flight recorder enabled and streams
+// the recorded events as JSONL on stdout; the report text goes to stderr
+// so the two can be piped apart.
+func trace(opts experiments.Options, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ufabsim [flags] trace <experiment>")
+		os.Exit(2)
+	}
+	e := experiments.Find(args[0])
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'ufabsim list')\n", args[0])
+		os.Exit(1)
+	}
+	opts.Telemetry = true
+	rep := e.Run(opts)
+	fmt.Fprint(os.Stderr, rep.String())
+	rec := rep.Reg.Recorder()
+	if rec == nil {
+		fmt.Fprintln(os.Stderr, "no flight recorder attached")
+		os.Exit(1)
+	}
+	if n := rec.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events (oldest %d dropped by the ring) --\n",
+			rec.Total(), n)
+	} else {
+		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events --\n", rec.Total())
+	}
+	if err := rec.WriteJSONL(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
 // check replays the whole evaluation at the golden file's pinned options
 // and fails on metric drift. With -update it re-records the baseline.
-func check(runner *experiments.Runner, args []string) {
+// withTelemetry attaches the instrumentation during the replay — results
+// must be identical either way, so CI runs check in both modes.
+func check(runner *experiments.Runner, args []string, withTelemetry bool) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	golden := fs.String("golden", "golden_metrics.json", "golden metrics file")
 	update := fs.Bool("update", false, "re-record the baseline instead of checking")
 	tol := fs.Float64("tol", 1e-6, "default relative tolerance when recording with -update")
+	telemetry := fs.Bool("telemetry", false, "attach the telemetry registry during the replay (results must not change)")
 	fs.Parse(args)
 
 	opts := experiments.Options{Quick: true, Seed: 1}
@@ -142,6 +236,7 @@ func check(runner *experiments.Runner, args []string) {
 		}
 		opts = g.Options
 	}
+	opts.Telemetry = withTelemetry || *telemetry
 
 	t0 := time.Now()
 	jobs, err := experiments.ExpandIDs(experiments.AllIDs(), opts, 1)
@@ -160,8 +255,17 @@ func check(runner *experiments.Runner, args []string) {
 	}
 	wall := time.Since(t0).Seconds()
 
+	if exportMetrics != "" {
+		if err := writeMetrics(exportMetrics, results, 1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *update {
 		g := experiments.BuildGolden(opts, reports, *tol)
+		// The baseline must never pin telemetry: check replays with the
+		// recorded options, and both modes must reproduce it.
+		g.Options.Telemetry = false
 		if err := g.Save(*golden); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -177,7 +281,11 @@ func check(runner *experiments.Runner, args []string) {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("check ok: %d experiments match %s in %.1fs\n", len(reports), *golden, wall)
+	mode := "telemetry off"
+	if opts.Telemetry {
+		mode = "telemetry on"
+	}
+	fmt.Printf("check ok: %d experiments match %s in %.1fs (%s)\n", len(reports), *golden, wall, mode)
 }
 
 func usage() {
@@ -187,7 +295,8 @@ usage:
   ufabsim [flags] list
   ufabsim [flags] run all | <id>...
   ufabsim [flags] tables
-  ufabsim [flags] check [-golden file] [-update] [-tol t]
+  ufabsim [flags] trace <id>
+  ufabsim [flags] check [-golden file] [-update] [-tol t] [-telemetry]
 
 flags:
 `)

@@ -6,6 +6,7 @@ import (
 
 	"ufab/internal/dataplane"
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -107,6 +108,14 @@ func (inj *Injector) apply(ev Event) {
 	inj.Log = append(inj.Log, Record{
 		At: inj.eng.Now(), Kind: ev.Kind, Detail: ev.detail(), Note: ev.Note, OK: ok,
 	})
+	if rec := net.FlightRecorder(); rec != nil {
+		applied := int64(0)
+		if ok {
+			applied = 1
+		}
+		rec.Record(telemetry.Event{T: int64(inj.eng.Now()), Kind: telemetry.EvFault,
+			Entity: "chaos.injector", A: applied, Note: ev.Kind.String()})
+	}
 }
 
 // eachLink applies f to the event's link, and to its reverse direction

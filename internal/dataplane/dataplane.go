@@ -15,6 +15,7 @@ import (
 	mrand "math/rand"
 
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -113,6 +114,11 @@ type Config struct {
 	// RNG is only consulted while a probabilistic degradation is active,
 	// so fault-free runs are bit-identical to pre-fault builds.
 	FaultSeed int64
+	// Telemetry, if non-nil, receives per-link instruments (published by
+	// FlushTelemetry) and drop events into its flight recorder. Enable
+	// the recorder on the registry before calling New. Nil keeps every
+	// hot-path instrument on the zero-cost nil fast path.
+	Telemetry *telemetry.Registry
 }
 
 // ECMPMode selects how switches hash flows onto equal-cost next hops.
@@ -235,6 +241,13 @@ type Network struct {
 	// computed lazily per destination.
 	dist map[topo.NodeID][]int32
 
+	// rec is the flight recorder (nil when telemetry is off — recording
+	// into a nil recorder is a free no-op). linkEntity[l] is the
+	// precomputed dotted instance name of link l ("link.core1-agg2"), so
+	// drop-path recording never allocates.
+	rec        *telemetry.Recorder
+	linkEntity []string
+
 	// TotalDrops counts packets dropped anywhere (queue overflow, failed
 	// node, or link fault).
 	TotalDrops uint64
@@ -280,7 +293,54 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 		p.ecnBytes = cfg.ECNThresholdBytes
 		p.rate.window = cfg.RateWindow
 	}
+	if cfg.Telemetry != nil {
+		n.rec = cfg.Telemetry.Recorder()
+		n.linkEntity = make([]string, len(g.Links))
+		for i := range n.linkEntity {
+			l := g.Link(topo.LinkID(i))
+			n.linkEntity[i] = "link." + telemetry.Token(g.Node(l.Src).Name) +
+				"-" + telemetry.Token(g.Node(l.Dst).Name)
+		}
+	}
 	return n
+}
+
+// FlightRecorder returns the run-trace recorder drop events go to (nil
+// when telemetry is off); chaos injection records its faults there too.
+func (n *Network) FlightRecorder() *telemetry.Recorder { return n.rec }
+
+// linkEnt returns link l's dotted instance name, or "" without telemetry.
+func (n *Network) linkEnt(l topo.LinkID) string {
+	if n.linkEntity == nil {
+		return ""
+	}
+	return n.linkEntity[l]
+}
+
+// LinkEntity returns link l's dotted instance name ("link.core1-agg2"),
+// or "" when telemetry is disabled.
+func (n *Network) LinkEntity(l topo.LinkID) string { return n.linkEnt(l) }
+
+// FlushTelemetry publishes per-link instruments — cumulative TX bytes,
+// windowed TX rate, queue high-water, drop counts, and a queue-depth time
+// series point — to the attached registry. It runs at sampling time (the
+// vfabric meter interval), never on the per-packet path; a no-op when
+// telemetry is disabled.
+func (n *Network) FlushTelemetry(now sim.Time) {
+	reg := n.Cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	for i := range n.Ports {
+		p := &n.Ports[i]
+		ent := n.linkEntity[i]
+		reg.Gauge(ent + ".tx_bytes").Set(float64(p.TxBytes))
+		reg.Gauge(ent + ".tx_gbps").Set(p.TxRate(now) / 1e9)
+		reg.Gauge(ent + ".qlen_hiwater_bytes").SetMax(float64(p.MaxQueueBytes))
+		reg.Gauge(ent + ".drops").Set(float64(p.Drops))
+		reg.Gauge(ent + ".fault_drops").Set(float64(p.FaultDrops))
+		reg.Series(ent+".qlen_bytes", 0).Add(int64(now), float64(p.queueBytes))
+	}
 }
 
 // Port returns the egress port of link l.
@@ -357,6 +417,10 @@ func (n *Network) enqueue(pkt *Packet, lid topo.LinkID) {
 	port := &n.Ports[lid]
 	if n.failed[port.Link.Src] || n.failed[port.Link.Dst] {
 		n.TotalDrops++
+		if n.rec != nil {
+			n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvDrop,
+				Entity: n.linkEntity[lid], A: int64(pkt.Kind), Note: "failed"})
+		}
 		if n.OnFailDrop != nil {
 			// Report the node that actually failed; when the local node
 			// itself is dead that is Src, otherwise the far end.
@@ -383,6 +447,11 @@ func (n *Network) enqueue(pkt *Packet, lid topo.LinkID) {
 	if port.queueBytes+pkt.Size > port.capBytes {
 		port.Drops++
 		n.TotalDrops++
+		if n.rec != nil {
+			n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvDrop,
+				Entity: n.linkEntity[lid], A: int64(pkt.Kind),
+				B: int64(port.queueBytes), Note: "overflow"})
+		}
 		return
 	}
 	port.queue = append(port.queue, pkt)

@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -115,6 +116,7 @@ func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 		port.FaultDrops++
 		n.FaultDrops++
 		n.TotalDrops++
+		n.recordFaultDrop(pkt, port)
 		if n.OnFailDrop != nil {
 			// The near end detects the dark link; from its viewpoint the
 			// far end is unreachable.
@@ -127,6 +129,7 @@ func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 		port.FaultDrops++
 		n.FaultDrops++
 		n.TotalDrops++
+		n.recordFaultDrop(pkt, port)
 		return false
 	}
 	if pkt.Kind == Probe || pkt.Kind == Response {
@@ -134,6 +137,7 @@ func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 			port.FaultDrops++
 			n.FaultDrops++
 			n.TotalDrops++
+			n.recordFaultDrop(pkt, port)
 			return false
 		}
 		if d.ProbeCorruptProb > 0 && len(pkt.Payload) > 0 && n.faultRng.Float64() < d.ProbeCorruptProb {
@@ -143,7 +147,21 @@ func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 			b[i] ^= 1 << uint(n.faultRng.Intn(8))
 			pkt.Payload = b
 			n.CorruptedProbes++
+			if n.rec != nil {
+				n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvFault,
+					Entity: n.linkEnt(port.Link.ID), A: int64(pkt.Kind), Note: "probe_corrupt"})
+			}
 		}
 	}
 	return true
+}
+
+// recordFaultDrop traces a fault-induced packet loss (no-op without a
+// recorder).
+func (n *Network) recordFaultDrop(pkt *Packet, port *Port) {
+	if n.rec == nil {
+		return
+	}
+	n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvDrop,
+		Entity: n.linkEnt(port.Link.ID), A: int64(pkt.Kind), Note: "fault"})
 }

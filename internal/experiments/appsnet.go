@@ -7,6 +7,7 @@ import (
 	"ufab/internal/apps"
 	"ufab/internal/dataplane"
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 	"ufab/internal/vfabric"
 	"ufab/internal/workload"
@@ -25,8 +26,8 @@ type ufabNet struct {
 	conns map[connKey]*workload.Messages
 }
 
-func newUFABNet(eng *sim.Engine, g *topo.Graph, seed int64, prime bool) *ufabNet {
-	cfg := vfabric.Config{Seed: seed}
+func newUFABNet(eng *sim.Engine, g *topo.Graph, seed int64, prime bool, reg *telemetry.Registry) *ufabNet {
+	cfg := vfabric.Config{Seed: seed, Telemetry: reg}
 	cfg.Edge.DisableTwoStage = prime
 	return &ufabNet{f: vfabric.New(eng, g, cfg), conns: map[connKey]*workload.Messages{}}
 }
@@ -56,9 +57,9 @@ type baselineNet struct {
 	conns map[connKey]*workload.Messages
 }
 
-func newBaselineNet(eng *sim.Engine, g *topo.Graph, sc blhost.Scheme, seed int64) *baselineNet {
+func newBaselineNet(eng *sim.Engine, g *topo.Graph, sc blhost.Scheme, seed int64, reg *telemetry.Registry) *baselineNet {
 	return &baselineNet{
-		bl:    blhost.NewFabric(eng, g, blhost.Config{Scheme: sc, Seed: seed}, dataplane.Config{}),
+		bl:    blhost.NewFabric(eng, g, blhost.Config{Scheme: sc, Seed: seed}, dataplane.Config{Telemetry: reg}),
 		conns: map[connKey]*workload.Messages{},
 	}
 }
@@ -77,16 +78,16 @@ func (n *baselineNet) Dial(vf int32, tokens float64, src, dst topo.NodeID) *work
 }
 
 // appsNetFor builds the apps.Net for a scheme.
-func appsNetFor(sc scheme, eng *sim.Engine, g *topo.Graph, seed int64) apps.Net {
+func appsNetFor(sc scheme, eng *sim.Engine, g *topo.Graph, seed int64, reg *telemetry.Registry) apps.Net {
 	switch sc {
 	case schemeUFAB:
-		return newUFABNet(eng, g, seed, false)
+		return newUFABNet(eng, g, seed, false, reg)
 	case schemeUFABPrime:
-		return newUFABNet(eng, g, seed, true)
+		return newUFABNet(eng, g, seed, true, reg)
 	case schemePWC:
-		return newBaselineNet(eng, g, blhost.PWC, seed)
+		return newBaselineNet(eng, g, blhost.PWC, seed, reg)
 	default:
-		return newBaselineNet(eng, g, blhost.ESClove, seed)
+		return newBaselineNet(eng, g, blhost.ESClove, seed, reg)
 	}
 }
 
@@ -134,7 +135,7 @@ func Fig13(o Options) *Report {
 		for _, v := range variants {
 			eng := sim.New()
 			tb := topo.NewTestbed(topo.TestbedConfig{})
-			net := appsNetFor(v.sc, eng, tb.Graph, o.Seed)
+			net := appsNetFor(v.sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r))
 			if uf, ok := net.(*ufabNet); ok {
 				// Tenant hoses: Memcached 2G, MongoDB 6G.
 				uf.f.AddVF(1, 2e9, 3)
@@ -167,8 +168,8 @@ func Fig13(o Options) *Report {
 			r.Printf("%-4s load %-18s QPS %8.0f  QCT avg %8.1fus p90 %8.1fus p99 %9.1fus",
 				load.name, v.name, qps, avg, p90, p99)
 			tag := map[string]string{"PicNIC'+WCC+Clove": "pwc", "ES+Clove": "es", "uFAB": "ufab", "Ideal": "ideal"}[v.name]
-			r.Metric(load.name+"_"+tag+"_qps", qps)
-			r.Metric(load.name+"_"+tag+"_qct_p99_us", p99)
+			r.Metric(load.name+"."+tag+".qps", qps)
+			r.Metric(load.name+"."+tag+".qct_p99_us", p99)
 		}
 	}
 	r.Printf("paper shape: uFAB ≈ Ideal; alternatives ~2.5x lower QPS and ~20x higher tail QCT under high load")
@@ -197,7 +198,7 @@ func Fig14(o Options) *Report {
 		for _, sc := range []scheme{schemePWC, schemeES, schemeUFAB} {
 			eng := sim.New()
 			tb := topo.NewTestbed(topo.TestbedConfig{})
-			net := appsNetFor(sc, eng, tb.Graph, o.Seed)
+			net := appsNetFor(sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r))
 			if uf, ok := net.(*ufabNet); ok {
 				uf.f.AddVF(101, 2e9, 3) // SA
 				uf.f.AddVF(102, 6e9, 5) // BA
@@ -218,9 +219,9 @@ func Fig14(o Options) *Report {
 				ebs.SATCT.Mean(), ebs.SATCT.P(0.99),
 				ebs.BATCT.Mean(), ebs.BATCT.P(0.99),
 				ebs.TotalTCT.Mean(), ebs.TotalTCT.P(0.99), ebs.TotalTCT.Len())
-			r.Metric(pressure.name+"_"+metricKey(sc, "total_avg_ms", -1), ebs.TotalTCT.Mean())
-			r.Metric(pressure.name+"_"+metricKey(sc, "total_p99_ms", -1), ebs.TotalTCT.P(0.99))
-			r.Metric(pressure.name+"_"+metricKey(sc, "ba_p99_ms", -1), ebs.BATCT.P(0.99))
+			r.Metric(pressure.name+"."+metricKey(sc, "total_avg_ms", -1), ebs.TotalTCT.Mean())
+			r.Metric(pressure.name+"."+metricKey(sc, "total_p99_ms", -1), ebs.TotalTCT.P(0.99))
+			r.Metric(pressure.name+"."+metricKey(sc, "ba_p99_ms", -1), ebs.BATCT.P(0.99))
 		}
 	}
 	r.Printf("latency bound (converted to 10G): avg ≤ 2 ms, tail ≤ 10 ms; paper: uFAB meets it, 21x/33x shorter tails than PWC/ES")

@@ -14,12 +14,12 @@ import (
 	mrand "math/rand"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"ufab/internal/dataplane"
 	"ufab/internal/sim"
 	"ufab/internal/stats"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 	"ufab/internal/vfabric"
 	"ufab/internal/workload"
@@ -40,25 +40,47 @@ type Options struct {
 	// regression baseline is recorded with it empty, so the field is
 	// omitted from golden_metrics.json.
 	Scenario string `json:"scenario,omitempty"`
+	// Telemetry attaches the run's unified registry to the fabric under
+	// test: per-link instruments, agent counters, and the flight
+	// recorder. Headline metrics and golden comparison are unaffected —
+	// instrumentation never feeds back into the simulation — so results
+	// are bit-identical with it on or off. Excluded from the golden
+	// encoding.
+	Telemetry bool `json:"-"`
 }
 
-// Report is an experiment's structured result.
+// fabricTelemetry returns the registry a fabric under test should attach
+// (the report's own registry, flight recorder enabled), or nil when o
+// does not ask for telemetry.
+func (o Options) fabricTelemetry(r *Report) *telemetry.Registry {
+	if !o.Telemetry {
+		return nil
+	}
+	r.Reg.EnableRecorder(0)
+	return r.Reg
+}
+
+// Report is an experiment's structured result, built on the unified
+// telemetry registry: headline metrics are gauges, attached curves are
+// ring-buffer series, all under the dotted entity.instance.metric naming
+// scheme. When the run's fabric is instrumented (Options.Telemetry), its
+// per-link/per-agent instruments live in the same registry and come out
+// of the same Snapshot; golden comparison still only sees the headline
+// metrics recorded through Metric.
 type Report struct {
 	ID    string
 	Title string
 	Lines []string
-	// Metrics carries the headline numbers (for benches and regression
-	// checks); keys are stable identifiers.
-	Metrics map[string]float64
-	// Series holds the figure's representative curves (e.g. per-VF rate
-	// evolution); cmd/ufabsim -csv exports them.
-	Series []*stats.Series
-	order  []string
+	// Reg is the run's unified telemetry registry.
+	Reg *telemetry.Registry
+
+	order       []string // headline metric names, insertion order
+	seriesNames []string // attached series names, insertion order
 }
 
-// NewReport creates an empty report.
+// NewReport creates an empty report with a fresh registry.
 func NewReport(id, title string) *Report {
-	return &Report{ID: id, Title: title, Metrics: map[string]float64{}}
+	return &Report{ID: id, Title: title, Reg: telemetry.New()}
 }
 
 // Printf appends a formatted line.
@@ -66,36 +88,69 @@ func (r *Report) Printf(format string, args ...any) {
 	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
 }
 
-// AddSeries attaches a named curve to the report.
+// seriesKey maps an attached curve's display name to its registry name.
+func seriesKey(name string) string { return "series." + telemetry.Token(name) }
+
+// AddSeries attaches a named curve to the report, copying its points into
+// a registry series.
 func (r *Report) AddSeries(name string, s *stats.Series) {
-	c := *s
-	c.Name = name
-	r.Series = append(r.Series, &c)
+	ts := r.Reg.Series(seriesKey(name), len(s.Pts))
+	for _, pt := range s.Pts {
+		ts.Add(int64(pt.T), pt.V)
+	}
+	r.seriesNames = append(r.seriesNames, name)
 }
+
+// SeriesCount returns how many curves are attached.
+func (r *Report) SeriesCount() int { return len(r.seriesNames) }
 
 // WriteCSV writes every attached series as CSV (time_us,value) files named
 // <id>_<series>.csv under dir.
 func (r *Report) WriteCSV(dir string) error {
-	for _, s := range r.Series {
-		name := r.ID + "_" + sanitize(s.Name) + ".csv"
+	snap := r.Reg.Snapshot()
+	points := make(map[string][]telemetry.Point, len(snap.Series))
+	for _, sv := range snap.Series {
+		points[sv.Name] = sv.Points
+	}
+	for _, name := range r.seriesNames {
+		file := r.ID + "_" + sanitize(name) + ".csv"
 		var b strings.Builder
 		b.WriteString("time_us,value\n")
-		for _, pt := range s.Pts {
-			fmt.Fprintf(&b, "%.3f,%g\n", pt.T.Micros(), pt.V)
+		for _, pt := range points[seriesKey(name)] {
+			fmt.Fprintf(&b, "%.3f,%g\n", sim.Time(pt.T).Micros(), pt.V)
 		}
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(b.String()), 0o644); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Metric records a headline number.
+// Metric records a headline number under a dotted name (the registry
+// panics on undotted names). Re-recording a name overwrites its value but
+// keeps its original position.
 func (r *Report) Metric(name string, v float64) {
-	if _, ok := r.Metrics[name]; !ok {
-		r.order = append(r.order, name)
+	g := r.Reg.Gauge(name) // validates the name even for duplicates
+	for _, k := range r.order {
+		if k == name {
+			g.Set(v)
+			return
+		}
 	}
-	r.Metrics[name] = v
+	r.order = append(r.order, name)
+	g.Set(v)
+}
+
+// Metrics returns the headline metrics as a name → value map. Fabric
+// instruments sharing the registry are excluded: only names recorded
+// through Metric appear, which keeps golden comparison identical whether
+// telemetry is on or off.
+func (r *Report) Metrics() map[string]float64 {
+	out := make(map[string]float64, len(r.order))
+	for _, k := range r.order {
+		out[k] = r.Reg.GaugeValue(k)
+	}
+	return out
 }
 
 // MetricNames returns metric keys in insertion order.
@@ -109,10 +164,10 @@ func (r *Report) String() string {
 		b.WriteString(l)
 		b.WriteByte('\n')
 	}
-	if len(r.Metrics) > 0 {
+	if len(r.order) > 0 {
 		b.WriteString("-- metrics --\n")
 		for _, k := range r.order {
-			fmt.Fprintf(&b, "%s = %.4g\n", k, r.Metrics[k])
+			fmt.Fprintf(&b, "%s = %.4g\n", k, r.Reg.GaugeValue(k))
 		}
 	}
 	return b.String()
@@ -249,18 +304,20 @@ func (h *flowHandle) delivered() int64 {
 	return h.blFlow.Flow.Delivered
 }
 
-// newSystem builds a deployment of the given scheme over g.
-func newSystem(s scheme, eng *sim.Engine, g *topo.Graph, seed int64) *system {
+// newSystem builds a deployment of the given scheme over g. A non-nil
+// reg attaches the run's telemetry registry: the full fabric for μFAB
+// schemes, the dataplane link instruments for baselines.
+func newSystem(s scheme, eng *sim.Engine, g *topo.Graph, seed int64, reg *telemetry.Registry) *system {
 	sys := &system{scheme: s, eng: eng, graph: g}
 	switch s {
 	case schemeUFAB, schemeUFABPrime:
-		cfg := vfabric.Config{Seed: seed}
+		cfg := vfabric.Config{Seed: seed, Telemetry: reg}
 		cfg.Edge.DisableTwoStage = s == schemeUFABPrime
 		sys.uf = vfabric.New(eng, g, cfg)
 	case schemePWC:
-		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.PWC, Seed: seed}, dataplane.Config{})
+		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.PWC, Seed: seed}, dataplane.Config{Telemetry: reg})
 	case schemeES:
-		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.ESClove, Seed: seed}, dataplane.Config{})
+		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.ESClove, Seed: seed}, dataplane.Config{Telemetry: reg})
 	}
 	return sys
 }
@@ -318,19 +375,19 @@ func (sys *system) maxQueueBytes() int {
 }
 
 // queueHighWaters gathers the high-water marks of all switch egress
-// queues, sorted ascending.
-func (sys *system) queueHighWaters() []float64 {
+// queues as a sorted-once snapshot (quantiles come off it without
+// re-sorting per call).
+func (sys *system) queueHighWaters() stats.Snapshot {
 	net := sys.net()
-	var out []float64
+	var s stats.Samples
 	for i := range net.Ports {
 		p := &net.Ports[i]
 		if sys.graph.Node(p.Link.Src).Kind != topo.Switch {
 			continue
 		}
-		out = append(out, float64(p.MaxQueueBytes))
+		s.Add(float64(p.MaxQueueBytes))
 	}
-	sort.Float64s(out)
-	return out
+	return s.Snapshot()
 }
 
 func (sys *system) net() *dataplane.Network {
@@ -338,15 +395,6 @@ func (sys *system) net() *dataplane.Network {
 		return sys.uf.Net
 	}
 	return sys.bl.Net
-}
-
-// percentileOf returns the q-quantile of a sorted slice.
-func percentileOf(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 // backlog fills a flow with effectively infinite demand.

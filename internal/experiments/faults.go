@@ -53,7 +53,7 @@ type faultRig struct {
 func newFaultRig(o Options, r *Report, mutate func(*vfabric.Config)) *faultRig {
 	eng := sim.New()
 	tb := topo.NewTestbed(topo.TestbedConfig{})
-	cfg := vfabric.Config{Seed: o.Seed}
+	cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -93,12 +93,12 @@ func (rig *faultRig) run(dur sim.Duration) {
 	ctrlRate := rig.ctrl.Rate(dur-dur/10, dur)
 	r.Printf("control VF-9 (intra-ToR): final rate %5.2f G", ctrlRate/1e9)
 	fs := rig.uf.FaultStats()
-	r.Metric("satisfied", float64(satisfied))
-	r.Metric("ctrl_gbps", ctrlRate/1e9)
-	r.Metric("migrations", float64(fs.Migrations))
-	r.Metric("freezes_armed", float64(fs.FreezesArmed))
-	r.Metric("freeze_suppressed", float64(fs.FreezeSuppressed))
-	r.Metric("fault_drops", float64(fs.FaultDrops))
+	r.Metric("guarantee.satisfied", float64(satisfied))
+	r.Metric("ctrl.gbps", ctrlRate/1e9)
+	r.Metric("faults.migrations", float64(fs.Migrations))
+	r.Metric("faults.freezes_armed", float64(fs.FreezesArmed))
+	r.Metric("faults.freeze_suppressed", float64(fs.FreezeSuppressed))
+	r.Metric("faults.drops", float64(fs.FaultDrops))
 }
 
 // logInjections appends the injection log to the report.
@@ -132,7 +132,7 @@ func FaultFlap(o Options) *Report {
 	inj := rig.uf.ApplyScenario(sc)
 	rig.run(dur)
 	rig.logInjections(inj)
-	r.Metric("flaps_applied", float64(inj.Applied(chaos.LinkDown)))
+	r.Metric("chaos.flaps_applied", float64(inj.Applied(chaos.LinkDown)))
 	r.Printf("flapped Agg1→Core1 duplex ×%d (down %v every %v)", cycles, down, period)
 	return r
 }
@@ -168,8 +168,8 @@ func FaultGray(o Options) *Report {
 	rig.run(dur)
 	rig.logInjections(inj)
 	fs := rig.uf.FaultStats()
-	r.Metric("corrupted_probes", float64(fs.CorruptedProbes))
-	r.Metric("degrades_applied", float64(inj.Applied(chaos.LinkDegrade)))
+	r.Metric("faults.corrupted_probes", float64(fs.CorruptedProbes))
+	r.Metric("chaos.degrades_applied", float64(inj.Applied(chaos.LinkDegrade)))
 	r.Printf("gray window [%v, %v): cap×%.2f, +%v, loss %.1f%%, probe drop/corrupt %.0f%%/%.0f%%",
 		grayAt, healAt, deg.CapacityScale, deg.ExtraDelay, deg.LossProb*100,
 		deg.ProbeDropProb*100, deg.ProbeCorruptProb*100)
@@ -218,10 +218,10 @@ func FaultRestart(o Options) *Report {
 	fs := rig.uf.FaultStats()
 	r.Printf("ToR4→S8 Φ register: %.2f tokens before restart, %.2f after wipe, %.2f rebuilt at end",
 		phiBefore, phiAfter, phiRebuilt)
-	r.Metric("restarts", float64(fs.CoreRestarts))
-	r.Metric("phi_before", phiBefore)
-	r.Metric("phi_after_wipe", phiAfter)
-	r.Metric("phi_rebuilt", phiRebuilt)
+	r.Metric("faults.core_restarts", float64(fs.CoreRestarts))
+	r.Metric("phi.before", phiBefore)
+	r.Metric("phi.after_wipe", phiAfter)
+	r.Metric("phi.rebuilt", phiRebuilt)
 	return r
 }
 
@@ -282,10 +282,10 @@ func FaultChurn(o Options) *Report {
 	downlink := linkBetween(rig.tb.Graph, tor, rig.tb.Servers[7])
 	phiResidue, _ := rig.uf.Cores[tor].Subscription(downlink)
 	r.Printf("S8 downlink Φ after storm: %.2f tokens (stable incast only)", phiResidue)
-	r.Metric("arrivals", float64(inj.Applied(chaos.TenantArrive)))
-	r.Metric("departures", float64(inj.Applied(chaos.TenantDepart)))
-	r.Metric("rejected", float64(inj.Rejected()))
-	r.Metric("phi_residue", phiResidue)
+	r.Metric("chaos.arrivals", float64(inj.Applied(chaos.TenantArrive)))
+	r.Metric("chaos.departures", float64(inj.Applied(chaos.TenantDepart)))
+	r.Metric("chaos.rejected", float64(inj.Rejected()))
+	r.Metric("phi.residue", phiResidue)
 	return r
 }
 
@@ -310,8 +310,8 @@ func ChaosLab(o Options) *Report {
 		sc, err = chaos.Parse([]byte(o.Scenario))
 		if err != nil {
 			r.Printf("scenario rejected: %v", err)
-			r.Metric("events_applied", 0)
-			r.Metric("events_rejected", 0)
+			r.Metric("chaos.events_applied", 0)
+			r.Metric("chaos.events_rejected", 0)
 			return r
 		}
 		r.Printf("replaying scenario %q (%d events)", sc.Name, len(sc.Events))
@@ -341,7 +341,7 @@ func ChaosLab(o Options) *Report {
 			applied++
 		}
 	}
-	r.Metric("events_applied", float64(applied))
-	r.Metric("events_rejected", float64(inj.Rejected()))
+	r.Metric("chaos.events_applied", float64(applied))
+	r.Metric("chaos.events_rejected", float64(inj.Rejected()))
 	return r
 }

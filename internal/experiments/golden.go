@@ -57,7 +57,7 @@ func BuildGolden(opts Options, reports []*Report, defaultTol float64) *Golden {
 	}
 	for _, r := range reports {
 		m := map[string]float64{}
-		for k, v := range r.Metrics {
+		for k, v := range r.Metrics() {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				continue
 			}
@@ -92,21 +92,22 @@ func (g *Golden) Compare(reports []*Report) []Drift {
 				Structural: "experiment in golden file but not run"})
 			continue
 		}
+		got := r.Metrics()
 		for metric, w := range want {
-			got, ok := r.Metrics[metric]
+			gotV, ok := got[metric]
 			if !ok {
 				drifts = append(drifts, Drift{Experiment: id, Metric: metric,
 					Structural: fmt.Sprintf("metric %s missing from report", metric)})
 				continue
 			}
 			tol := g.tolerance(id, metric)
-			if math.Abs(got-w) > tol*math.Max(math.Abs(w), 1) {
+			if math.Abs(gotV-w) > tol*math.Max(math.Abs(w), 1) {
 				drifts = append(drifts, Drift{Experiment: id, Metric: metric,
-					Want: w, Got: got, Tol: tol})
+					Want: w, Got: gotV, Tol: tol})
 			}
 		}
 		// New metrics are drift too: they mean the golden file is stale.
-		for metric, v := range r.Metrics {
+		for metric, v := range got {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				continue
 			}

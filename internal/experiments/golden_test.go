@@ -8,10 +8,10 @@ import (
 
 func twoReports() []*Report {
 	a := NewReport("figA", "a")
-	a.Metric("x", 10)
-	a.Metric("y", 0.5)
+	a.Metric("a.x", 10)
+	a.Metric("a.y", 0.5)
 	b := NewReport("figB", "b")
-	b.Metric("z", -3)
+	b.Metric("b.z", -3)
 	return []*Report{a, b}
 }
 
@@ -37,13 +37,13 @@ func TestGoldenRoundTripAndCompare(t *testing.T) {
 func TestGoldenDetectsDrift(t *testing.T) {
 	g := BuildGolden(Options{}, twoReports(), 1e-6)
 	reports := twoReports()
-	reports[0].Metrics["x"] = 10.01 // 0.1% off, far beyond 1e-6
+	reports[0].Metric("a.x", 10.01) // 0.1% off, far beyond 1e-6
 	drifts := g.Compare(reports)
-	if len(drifts) != 1 || drifts[0].Experiment != "figA" || drifts[0].Metric != "x" {
-		t.Fatalf("drifts = %v, want exactly figA/x", drifts)
+	if len(drifts) != 1 || drifts[0].Experiment != "figA" || drifts[0].Metric != "a.x" {
+		t.Fatalf("drifts = %v, want exactly figA/a.x", drifts)
 	}
 	// Within tolerance passes: the max(|want|,1) floor scales it.
-	reports[0].Metrics["x"] = 10 + 5e-6
+	reports[0].Metric("a.x", 10+5e-6)
 	if drifts := g.Compare(reports); len(drifts) != 0 {
 		t.Fatalf("in-tolerance change flagged: %v", drifts)
 	}
@@ -51,29 +51,31 @@ func TestGoldenDetectsDrift(t *testing.T) {
 
 func TestGoldenPerMetricTolerance(t *testing.T) {
 	g := BuildGolden(Options{}, twoReports(), 1e-6)
-	g.Tolerances = map[string]float64{"figA/x": 0.05}
+	g.Tolerances = map[string]float64{"figA/a.x": 0.05}
 	reports := twoReports()
-	reports[0].Metrics["x"] = 10.2 // 2% off: inside the 5% override
-	reports[1].Metrics["z"] = -3.1 // off with no override: must drift
+	reports[0].Metric("a.x", 10.2) // 2% off: inside the 5% override
+	reports[1].Metric("b.z", -3.1) // off with no override: must drift
 	drifts := g.Compare(reports)
 	if len(drifts) != 1 || drifts[0].Experiment != "figB" {
-		t.Fatalf("drifts = %v, want exactly figB/z", drifts)
+		t.Fatalf("drifts = %v, want exactly figB/b.z", drifts)
 	}
 }
 
 func TestGoldenStructuralDrift(t *testing.T) {
 	g := BuildGolden(Options{}, twoReports(), 1e-6)
 
-	// Missing metric.
+	// Missing metric: a figA report that never recorded a.y.
 	reports := twoReports()
-	delete(reports[0].Metrics, "y")
+	short := NewReport("figA", "a")
+	short.Metric("a.x", 10)
+	reports[0] = short
 	if drifts := g.Compare(reports); len(drifts) != 1 || drifts[0].Structural == "" {
 		t.Fatalf("missing metric not structural drift: %v", drifts)
 	}
 
 	// New metric not in the baseline.
 	reports = twoReports()
-	reports[1].Metric("w", 7)
+	reports[1].Metric("b.w", 7)
 	if drifts := g.Compare(reports); len(drifts) != 1 || drifts[0].Structural == "" {
 		t.Fatalf("new metric not flagged: %v", drifts)
 	}
@@ -94,14 +96,14 @@ func TestGoldenStructuralDrift(t *testing.T) {
 
 func TestGoldenSkipsNonFinite(t *testing.T) {
 	r := NewReport("figN", "nan")
-	r.Metric("good", 1)
-	r.Metric("bad", math.NaN())
-	r.Metric("worse", math.Inf(1))
+	r.Metric("n.good", 1)
+	r.Metric("n.bad", math.NaN())
+	r.Metric("n.worse", math.Inf(1))
 	g := BuildGolden(Options{}, []*Report{r}, 1e-6)
-	if _, ok := g.Experiments["figN"]["bad"]; ok {
+	if _, ok := g.Experiments["figN"]["n.bad"]; ok {
 		t.Fatal("NaN metric recorded")
 	}
-	if _, ok := g.Experiments["figN"]["worse"]; ok {
+	if _, ok := g.Experiments["figN"]["n.worse"]; ok {
 		t.Fatal("Inf metric recorded")
 	}
 	// And Compare must not flag the skipped metrics as "new".

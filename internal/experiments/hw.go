@@ -30,7 +30,7 @@ func Fig15(o Options) *Report {
 	// ---- (a) predictability under churn and failure ----
 	eng := sim.New()
 	tb := topo.NewTestbed(topo.TestbedConfig{LinkCapacity: topo.Gbps(100)})
-	uf := vfabric.New(eng, tb.Graph, vfabric.Config{Seed: o.Seed})
+	uf := vfabric.New(eng, tb.Graph, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)})
 	guarantees := []float64{5e9, 5e9, 5e9, 10e9, 10e9, 10e9, 15e9}
 	var flows []*vfabric.Flow
 	for i, g := range guarantees {
@@ -66,13 +66,13 @@ func Fig15(o Options) *Report {
 	maxQ := float64(uf.MaxQueueBytes())
 	r.Printf("after Core1 failure at %v: %d/%d guarantees kept, %d total migrations, max queue %.0f KB (3BDP = %.0f KB)",
 		failAt, satisfied, len(flows), migrations, maxQ/1e3, 3*bdp/1e3)
-	r.Metric("satisfied", float64(satisfied))
-	r.Metric("migrations", float64(migrations))
-	r.Metric("maxq_over_3bdp", maxQ/(3*bdp))
+	r.Metric("guarantee.satisfied", float64(satisfied))
+	r.Metric("faults.migrations", float64(migrations))
+	r.Metric("queue.maxq_over_3bdp", maxQ/(3*bdp))
 	for _, rec := range inj.Log {
 		r.Printf("chaos: %s", rec)
 	}
-	r.Metric("fault_events", float64(inj.Applied(chaos.NodeCrash)))
+	r.Metric("chaos.node_crashes", float64(inj.Applied(chaos.NodeCrash)))
 
 	// ---- (b) probing overhead vs number of VM-pairs ----
 	lw := int64(4096)
@@ -83,7 +83,7 @@ func Fig15(o Options) *Report {
 	for _, n := range counts {
 		eng2 := sim.New()
 		st := topo.NewStar(2, topo.Gbps(100), 2*sim.Microsecond)
-		cfg := vfabric.Config{Seed: o.Seed}
+		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
 		cfg.Edge.ProbePayloadBytes = lw
 		uf2 := vfabric.New(eng2, st.Graph, cfg)
 		vf := uf2.AddVF(1, 50e9, 6)
@@ -98,12 +98,12 @@ func Fig15(o Options) *Report {
 		eng2.RunUntil(horizon)
 		ovh := uf2.ProbeOverhead() * 100
 		r.Printf("probing overhead with %4d VM-pairs: %.3f%%", n, ovh)
-		r.Metric("overhead_pct_"+itoa(n), ovh)
+		r.Metric("probe.overhead_pct."+itoa(n), ovh)
 	}
 	lp := float64(probe.WireSize(3))
 	bound := lp / (lp + float64(lw)) * 100
 	r.Printf("analytic bound L_p/(L_p+L_w) = %.2f%% (paper: 1.28%% with their L_p); overhead flattens with VM-pair count", bound)
-	r.Metric("overhead_bound_pct", bound)
+	r.Metric("probe.overhead_bound_pct", bound)
 	return r
 }
 
@@ -116,9 +116,9 @@ func Table3(o Options) *Report {
 		r.Printf("%s", line)
 	}
 	total := rows[len(rows)-1]
-	r.Metric("total_lut_pct", total.LUT)
-	r.Metric("total_bram_pct", total.BRAM)
-	r.Metric("total_uram_pct", total.URAM)
+	r.Metric("fpga.total_lut_pct", total.LUT)
+	r.Metric("fpga.total_bram_pct", total.BRAM)
+	r.Metric("fpga.total_uram_pct", total.URAM)
 	r.Printf("paper Table 3 totals: LUT 7.6%%, Registers 5.8%%, BRAM 16.4%%, URAM 9.5%%")
 	return r
 }
@@ -131,7 +131,7 @@ func Table4(o Options) *Report {
 		r.Printf("%s", line)
 	}
 	for _, c := range cols {
-		r.Metric("sram_pct_"+itoa(c.VMPairs/1000)+"k", c.SRAM)
+		r.Metric("switch.sram_pct."+itoa(c.VMPairs/1000)+"k", c.SRAM)
 	}
 	r.Printf("paper Table 4 SRAM: 17.29%% / 17.71%% / 18.75%% — only the active-pair table scales")
 	return r

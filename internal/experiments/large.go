@@ -47,7 +47,7 @@ func Fig16(o Options) *Report {
 	for _, sc := range []scheme{schemePWC, schemeES, schemeUFABPrime, schemeUFAB} {
 		eng := sim.New()
 		st := topo.NewStar(n+1, topo.Gbps(100), 2*sim.Microsecond)
-		sys := newSystem(sc, eng, st.Graph, o.Seed)
+		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r))
 		var flows []*flowHandle
 		for i := 0; i < n; i++ {
 			fh := sys.addFlow(int32(i+1), 1e9, st.Hosts[i], st.Hosts[n])
@@ -141,7 +141,7 @@ func Fig17(o Options) *Report {
 		for _, sc := range []scheme{schemePWC, schemeES, schemeUFAB} {
 			eng := sim.New()
 			cl := topo.NewClos(cell.clos)
-			sys := newSystem(sc, eng, cl.Graph, o.Seed)
+			sys := newSystem(sc, eng, cl.Graph, o.Seed, o.fabricTelemetry(r))
 			dist := workload.WebSearch()
 			type pairState struct {
 				msgs      *workload.Messages
@@ -202,9 +202,9 @@ func Fig17(o Options) *Report {
 			}
 			r.Printf("%-12s %-18s dissat %5.1f%%  p99RTT %8.1fus  slowdown avg %6.2f p99 %8.2f (n=%d)",
 				cell.name, sc, dissat, rttAgg.P(0.99), slow.Mean(), slow.P(0.99), slow.Len())
-			tag := fmt.Sprintf("%s_%s", metricKey(sc, "dissat_pct", -1), sanitize(cell.name))
+			tag := fmt.Sprintf("%s.%s", metricKey(sc, "dissat_pct", -1), sanitize(cell.name))
 			r.Metric(tag, dissat)
-			r.Metric(fmt.Sprintf("%s_%s", metricKey(sc, "slow_p99", -1), sanitize(cell.name)), slow.P(0.99))
+			r.Metric(fmt.Sprintf("%s.%s", metricKey(sc, "slow_p99", -1), sanitize(cell.name)), slow.P(0.99))
 			if cell.name == "1:1 load 0.7" || (o.Quick && cell.name == "1:1 load 0.5") {
 				for _, bin := range []string{"<10K", "10-100K", "100K-1M", ">1M"} {
 					if s := binsAvg[bin]; s != nil {
@@ -232,14 +232,14 @@ func sizeBin(size int64) string {
 	}
 }
 
+// sanitize flattens a display name into one dot-free token, usable both
+// as a segment of a dotted metric name and in a CSV filename.
 func sanitize(s string) string {
 	out := make([]byte, 0, len(s))
 	for i := 0; i < len(s); i++ {
 		switch c := s[i]; {
-		case c == ' ' || c == ':':
+		case c == ' ' || c == ':' || c == '.':
 			out = append(out, '_')
-		case c == '.':
-			out = append(out, 'p')
 		default:
 			out = append(out, c)
 		}

@@ -35,7 +35,7 @@ func Fig4(o Options) *Report {
 		for _, n := range degrees {
 			eng := sim.New()
 			st := topo.NewStar(n+1, topo.Gbps(10), 5*sim.Microsecond)
-			sys := newSystem(sc, eng, st.Graph, o.Seed)
+			sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r))
 			var flows []*flowHandle
 			for i := 0; i < n; i++ {
 				fh := sys.addFlow(int32(i+1), 500e6, st.Hosts[i], st.Hosts[n])
@@ -67,25 +67,28 @@ func Fig4(o Options) *Report {
 		}
 	}
 	r.Printf("baseRTT %.1f us; latency bound ≈ %.0f us (3·BDP/C + baseRTT)", base, 5*base)
-	pwcGrowth := r.Metrics[metricKey(schemePWC, "tail_us", degrees[len(degrees)-1])] /
-		r.Metrics[metricKey(schemePWC, "tail_us", degrees[0])]
-	ufabGrowth := r.Metrics[metricKey(schemeUFAB, "tail_us", degrees[len(degrees)-1])] /
-		r.Metrics[metricKey(schemeUFAB, "tail_us", degrees[0])]
+	m := r.Metrics()
+	pwcGrowth := m[metricKey(schemePWC, "tail_us", degrees[len(degrees)-1])] /
+		m[metricKey(schemePWC, "tail_us", degrees[0])]
+	ufabGrowth := m[metricKey(schemeUFAB, "tail_us", degrees[len(degrees)-1])] /
+		m[metricKey(schemeUFAB, "tail_us", degrees[0])]
 	r.Printf("tail growth with incast degree: PWC %.1fx vs uFAB %.1fx (paper: PWC unbounded, uFAB bounded)",
 		pwcGrowth, ufabGrowth)
-	r.Metric("pwc_tail_growth", pwcGrowth)
-	r.Metric("ufab_tail_growth", ufabGrowth)
+	r.Metric("pwc.tail_growth", pwcGrowth)
+	r.Metric("ufab.tail_growth", ufabGrowth)
 	return r
 }
 
+// metricKey names a scheme's metric under the dotted scheme:
+// <scheme>.<what>[.<n>].
 func metricKey(sc scheme, what string, n int) string {
 	name := map[scheme]string{
 		schemeUFAB: "ufab", schemeUFABPrime: "ufabp", schemePWC: "pwc", schemeES: "es",
 	}[sc]
 	if n >= 0 {
-		return name + "_" + what + "_" + itoa(n)
+		return name + "." + what + "." + itoa(n)
 	}
-	return name + "_" + what
+	return name + "." + what
 }
 
 func itoa(n int) string {
@@ -131,11 +134,11 @@ func Fig5(o Options) *Report {
 		var uf *vfabric.Fabric
 		var bl *blhost.Fabric
 		if sc == schemeUFAB {
-			uf = vfabric.New(eng, tt.Graph, vfabric.Config{Seed: o.Seed})
+			uf = vfabric.New(eng, tt.Graph, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)})
 		} else {
 			bl = blhost.NewFabric(eng, tt.Graph, blhost.Config{
 				Scheme: blhost.PWC, CloveGap: gap, Seed: o.Seed,
-			}, dataplane.Config{})
+			}, dataplane.Config{Telemetry: o.fabricTelemetry(r)})
 		}
 		// Per-flow routes: F1..F3 pinned to P1..P3; F4 sees all three.
 		pathsFor := func(i int) []topo.Path {
@@ -223,8 +226,8 @@ func Fig5(o Options) *Report {
 		r.Printf("%-18s F1=%.2fG(owes 8) F2=%.2fG(8) F3=%.2fG(4) F4=%.2fG(3); satisfied %d/4; F4 path switches %d",
 			v.name, res.rates[0], res.rates[1], res.rates[2], res.rates[3], ok, res.switches)
 		key := map[string]string{"PWC (200us gap)": "pwc200", "PWC (36us gap)": "pwc36", "uFAB": "ufab"}[v.name]
-		r.Metric(key+"_satisfied", float64(ok))
-		r.Metric(key+"_switches", float64(res.switches))
+		r.Metric(key+".satisfied", float64(ok))
+		r.Metric(key+".switches", float64(res.switches))
 		for i, ser := range res.series {
 			r.AddSeries(key+"_F"+itoa(i+1)+"_bps", ser)
 		}
@@ -251,7 +254,7 @@ func Fig11(o Options) *Report {
 	for _, sc := range []scheme{schemeUFAB, schemePWC, schemeES} {
 		eng := sim.New()
 		tb := topo.NewTestbed(topo.TestbedConfig{})
-		sys := newSystem(sc, eng, tb.Graph, o.Seed)
+		sys := newSystem(sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r))
 		type vfFlow struct {
 			fh        *flowHandle
 			guarantee float64
@@ -294,9 +297,9 @@ func Fig11(o Options) *Report {
 		}
 		dissat := stats.Dissatisfaction(achieved, owed, nil)
 		qhw := sys.queueHighWaters()
-		maxQ := percentileOf(qhw, 1)
+		maxQ := qhw.Max()
 		r.Printf("%-18s dissatisfaction(final)=%5.1f%%  max queue=%6.0f KB  q-p90=%6.0f KB",
-			sc, dissat*100, maxQ/1e3, percentileOf(qhw, 0.9)/1e3)
+			sc, dissat*100, maxQ/1e3, qhw.P(0.9)/1e3)
 		for ci, g := range classes {
 			sum, n := 0.0, 0
 			for _, f := range flows {
@@ -329,7 +332,7 @@ func Fig12(o Options) *Report {
 	for _, sc := range []scheme{schemePWC, schemeES, schemeUFABPrime, schemeUFAB} {
 		eng := sim.New()
 		st := topo.NewStar(n+1, topo.Gbps(10), 5*sim.Microsecond)
-		sys := newSystem(sc, eng, st.Graph, o.Seed)
+		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r))
 		var flows []*flowHandle
 		for i := 0; i < n; i++ {
 			fh := sys.addFlow(int32(i+1), 500e6, st.Hosts[i], st.Hosts[n])

@@ -35,7 +35,7 @@ func Fig1(o Options) *Report {
 	}
 	eng := sim.New()
 	st := topo.NewStar(7, topo.Gbps(10), 5*sim.Microsecond)
-	bl := blhost.NewFabric(eng, st.Graph, blhost.Config{Scheme: blhost.PWC, Seed: o.Seed}, dataplane.Config{})
+	bl := blhost.NewFabric(eng, st.Graph, blhost.Config{Scheme: blhost.PWC, Seed: o.Seed}, dataplane.Config{Telemetry: o.fabricTelemetry(r)})
 	victimDst := st.Hosts[6]
 	// Victim: a steady 200 Mbps small-message stream host0→host6.
 	victim := bl.AddFlow(1, 2, st.Hosts[0], victimDst, 0)
@@ -91,8 +91,8 @@ func Fig1(o Options) *Report {
 		}
 	}
 	r.Printf("average load %.1f%% yet worst-epoch p99.9/median inflation x%.1f (paper: <10%% load, up to 50x)", avgLoad, maxInfl)
-	r.Metric("avg_load_pct", avgLoad)
-	r.Metric("max_tail_inflation", maxInfl)
+	r.Metric("load.avg_pct", avgLoad)
+	r.Metric("rtt.max_tail_inflation", maxInfl)
 	return r
 }
 
@@ -107,7 +107,7 @@ func Fig2(o Options) *Report {
 	}
 	eng := sim.New()
 	st := topo.NewStar(8, topo.Gbps(10), 5*sim.Microsecond)
-	net := newBaselineNet(eng, st.Graph, blhost.PWC, o.Seed)
+	net := newBaselineNet(eng, st.Graph, blhost.PWC, o.Seed, o.fabricTelemetry(r))
 	// Task sizes scaled for ~27% steady fabric load at 10G (the paper's
 	// production hosts run faster NICs at the same fractional load).
 	ebs := apps.NewEBS(net, apps.EBSConfig{
@@ -132,8 +132,8 @@ func Fig2(o Options) *Report {
 	mean, p999 := ebs.TotalTCT.Mean(), ebs.TotalTCT.P(0.999)
 	r.Printf("network load %.1f%%; total TCT mean %.2f ms, p99.9 %.2f ms (x%.1f)", load, mean, p999, p999/mean)
 	r.Printf("paper shape: steady ~27%% load, tail TCT ~10x average")
-	r.Metric("load_pct", load)
-	r.Metric("tct_tail_over_mean", p999/mean)
+	r.Metric("load.pct", load)
+	r.Metric("tct.tail_over_mean", p999/mean)
 	return r
 }
 
@@ -180,6 +180,7 @@ func Fig3(o Options) *Report {
 		// that the synchronized injection does not tail-drop.
 		net := dataplane.New(eng, g, dataplane.Config{
 			ECMP: mode, HashSeed: uint64(o.Seed), QueueCapBytes: 1 << 30,
+			Telemetry: o.fabricTelemetry(r),
 		})
 		net.SetHandler(dst, dataplane.HandlerFunc(func(pkt *dataplane.Packet) {}))
 		for f := 0; f < flows; f++ {
@@ -221,8 +222,8 @@ func Fig3(o Options) *Report {
 	r.Printf("polarized hash:   %2d/%d uplinks carry traffic, max/min load ratio %.1f", usedP, nCores, ratioP)
 	r.Printf("independent hash: %2d/%d uplinks carry traffic, max/min load ratio %.1f", usedI, nCores, ratioI)
 	r.Printf("paper shape: production Agg's 24 equivalent uplinks converge to ~6 load levels with 10x spread")
-	r.Metric("polarized_used", float64(usedP))
-	r.Metric("independent_used", float64(usedI))
-	r.Metric("polarized_maxmin", ratioP)
+	r.Metric("ecmp.polarized_used", float64(usedP))
+	r.Metric("ecmp.independent_used", float64(usedI))
+	r.Metric("ecmp.polarized_maxmin", ratioP)
 	return r
 }

@@ -46,6 +46,81 @@ func TestParallelRunnerDeterminism(t *testing.T) {
 	}
 }
 
+// telemetryIDs keeps the instrumented determinism gate cheap while still
+// spanning a baseline comparison (fig4), a multi-fabric experiment whose
+// agents reattach to shared counter names (fig15), and a chaos run whose
+// fault events land in the flight recorder (flap).
+var telemetryIDs = []string{"fig4", "fig15", "flap"}
+
+// snapshotAndTrace renders a run's full registry snapshot and flight
+// recorder as bytes, the exact forms `ufabsim -metrics` and `ufabsim
+// trace` export.
+func snapshotAndTrace(t *testing.T, r *Report) (string, string) {
+	t.Helper()
+	var snap, trace strings.Builder
+	r.Reg.Snapshot().WriteJSON(&snap)
+	rec := r.Reg.Recorder()
+	if rec == nil {
+		t.Fatalf("%s: no flight recorder attached", r.ID)
+	}
+	if err := rec.WriteJSONL(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return snap.String(), trace.String()
+}
+
+// TestTelemetryParallelDeterminism extends the runner gate to the
+// instrumented path: with the registry and flight recorder attached, the
+// exported snapshot JSON and trace JSONL must be bit-identical between a
+// sequential and a parallel batch, across several seeds.
+func TestTelemetryParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		opts := Options{Quick: true, Seed: seed, Telemetry: true}
+		jobs, err := ExpandIDs(telemetryIDs, opts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := (&Runner{Jobs: 1}).Run(jobs)
+		par := (&Runner{Jobs: 8}).Run(jobs)
+		for i := range seq {
+			if seq[i].Err != nil || par[i].Err != nil {
+				t.Fatalf("seed %d job %d: errs %v / %v", seed, i, seq[i].Err, par[i].Err)
+			}
+			id := seq[i].Report.ID
+			aSnap, aTrace := snapshotAndTrace(t, seq[i].Report)
+			bSnap, bTrace := snapshotAndTrace(t, par[i].Report)
+			if aSnap != bSnap {
+				t.Errorf("seed %d %s: registry snapshots differ between -jobs 1 and -jobs 8", seed, id)
+			}
+			if aTrace != bTrace {
+				t.Errorf("seed %d %s: flight-recorder traces differ between -jobs 1 and -jobs 8", seed, id)
+			}
+			if aTrace == "" {
+				t.Errorf("seed %d %s: empty trace — recorder saw no events", seed, id)
+			}
+		}
+	}
+}
+
+// TestTelemetryDoesNotChangeResults guards the zero-feedback contract:
+// attaching the registry and recorder must leave every headline metric
+// exactly as in an uninstrumented run. fig15 rebuilds fabrics against one
+// registry (the counter-reuse trap) and flap reads the fault-counter
+// accessors, so both accessor paths are exercised.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	for _, id := range []string{"fig15", "flap"} {
+		e := Find(id)
+		if e == nil {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		plain := e.Run(Options{Quick: true, Seed: 1}).Metrics()
+		inst := e.Run(Options{Quick: true, Seed: 1, Telemetry: true}).Metrics()
+		if !reflect.DeepEqual(plain, inst) {
+			t.Errorf("%s: metrics changed under telemetry:\noff: %v\non:  %v", id, plain, inst)
+		}
+	}
+}
+
 func TestRunnerResultsInJobOrder(t *testing.T) {
 	// Jobs with deliberately inverted costs: if results were ordered by
 	// completion, the slow first job would come last.

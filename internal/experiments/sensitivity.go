@@ -31,7 +31,7 @@ func Fig18(o Options) *Report {
 		for _, n := range []int{2, 3, 4, 10} {
 			eng := sim.New()
 			tt := topo.NewTwoTier(3, nFlows, topo.Gbps(10), 5*sim.Microsecond)
-			cfg := vfabric.Config{Seed: o.Seed}
+			cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
 			cfg.Edge.FreezeMaxRTTs = n
 			uf := vfabric.New(eng, tt.Graph, cfg)
 			// Synchronized arrival: all VFs join at once, so initial
@@ -74,8 +74,8 @@ func Fig18(o Options) *Report {
 				ctMs = ct.Millis()
 			}
 			r.Printf("load %s freeze [1,%2d]: convergence %8s, migrations %3d", load.name, n, ctStr, migrations)
-			r.Metric("freeze"+itoa(n)+"_"+sanitize(load.name)+"_migrations", float64(migrations))
-			r.Metric("freeze"+itoa(n)+"_"+sanitize(load.name)+"_conv_ms", ctMs)
+			r.Metric("freeze"+itoa(n)+"."+sanitize(load.name)+".migrations", float64(migrations))
+			r.Metric("freeze"+itoa(n)+"."+sanitize(load.name)+".conv_ms", ctMs)
 		}
 	}
 	// ---- (c) probing frequency ----
@@ -85,7 +85,7 @@ func Fig18(o Options) *Report {
 	}{{"self-clocking", 0}, {"2 RTT", 2}, {"3 RTT", 3}} {
 		eng := sim.New()
 		st := topo.NewStar(17, topo.Gbps(10), 5*sim.Microsecond)
-		cfg := vfabric.Config{Seed: o.Seed}
+		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
 		cfg.Edge.PeriodicProbeRTTs = pf.rtts
 		uf := vfabric.New(eng, st.Graph, cfg)
 		var flows []*vfabric.Flow
@@ -118,7 +118,7 @@ func Fig18(o Options) *Report {
 		}
 		r.Printf("probing %-14s: 16-to-1 aggregate convergence %s", pf.name, ctStr)
 		if ct >= 0 {
-			r.Metric("probe_"+sanitize(pf.name)+"_conv_us", ct.Micros())
+			r.Metric("probe."+sanitize(pf.name)+".conv_us", ct.Micros())
 		}
 	}
 	r.Printf("paper shape: [1,10] freeze cuts migrations sharply at 70%% load with similar convergence; probing frequency barely affects convergence")
@@ -132,7 +132,7 @@ func Fig19(o Options) *Report {
 	r := NewReport("fig19", "primal control reaction delay")
 	eng := sim.New()
 	st := topo.NewStar(3, topo.Gbps(10), 5*sim.Microsecond)
-	uf := vfabric.New(eng, st.Graph, vfabric.Config{Seed: o.Seed, MeterInterval: 25 * sim.Microsecond})
+	uf := vfabric.New(eng, st.Graph, vfabric.Config{Seed: o.Seed, MeterInterval: 25 * sim.Microsecond, Telemetry: o.fabricTelemetry(r)})
 	vfA := uf.AddVF(1, 2e9, 3)
 	vfB := uf.AddVF(2, 2e9, 3)
 	a := uf.AddFlow(vfA, st.Hosts[0], st.Hosts[2], 0)
@@ -164,13 +164,13 @@ func Fig19(o Options) *Report {
 	baseRTT := st.Graph.Diameter(1500)
 	if reactAt < 0 {
 		r.Printf("incumbent never reacted (pre-burst %.2f G)", pre/1e9)
-		r.Metric("reaction_rtts", -1)
+		r.Metric("reaction.rtts", -1)
 		return r
 	}
 	rtts := float64(reactAt-burstAt) / float64(baseRTT)
 	r.Printf("incumbent at %.2f G reacted %.1f us after the burst = %.1f baseRTTs (theory: ~2 RTT for the primal/window control, ~4 for dual)",
 		pre/1e9, (reactAt - burstAt).Micros(), rtts)
-	r.Metric("reaction_rtts", rtts)
+	r.Metric("reaction.rtts", rtts)
 	return r
 }
 
@@ -202,7 +202,7 @@ func Fig20(o Options) *Report {
 		g.AddDuplexLink(h, sw, topo.Gbps(100), prop)
 		hosts = append(hosts, h)
 	}
-	uf := vfabric.New(eng, g, vfabric.Config{Seed: o.Seed})
+	uf := vfabric.New(eng, g, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)})
 	var flows []*flowHandle
 	for i := 0; i < n; i++ {
 		vf := uf.AddVF(int32(i+1), 500e6, 2)
@@ -230,11 +230,11 @@ func Fig20(o Options) *Report {
 	r.Printf("%d-to-1: per-sender median RTT spread %.1f us (baseRTT %.1f us) — responses are asynchronous", n, spread, baseRTT)
 	r.Printf("aggregate convergence to 95%% of line rate: %s", ctStr)
 	if ct >= 0 {
-		r.Metric("conv_us", ct.Micros())
+		r.Metric("conv.us", ct.Micros())
 	} else {
-		r.Metric("conv_us", -1)
+		r.Metric("conv.us", -1)
 	}
-	r.Metric("rtt_spread_us", spread)
+	r.Metric("rtt.spread_us", spread)
 	r.Printf("paper shape: senders receive responses out of sync by >1 RTT yet rates converge quickly (Fig 20b)")
 	return r
 }

@@ -124,7 +124,30 @@ type Engine struct {
 	stopped bool
 	// Processed counts events executed so far; useful for runaway
 	// detection in tests.
-	Processed uint64
+	Processed   uint64
+	peakPending int
+}
+
+// EngineStats is a snapshot of the engine's scheduling activity, pulled by
+// the telemetry flush at sampling time. The engine itself stays free of
+// telemetry dependencies so the hot path pays nothing for introspection.
+type EngineStats struct {
+	Now         Time
+	Processed   uint64 // events executed
+	Pending     int    // events still queued (incl. not-yet-popped cancels)
+	PeakPending int    // high-water mark of the event queue
+	ArenaSlots  int    // arena size: peak live+free event slots
+}
+
+// Stats returns the current scheduling statistics.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Now:         e.now,
+		Processed:   e.Processed,
+		Pending:     len(e.queue),
+		PeakPending: e.peakPending,
+		ArenaSlots:  len(e.slots),
+	}
 }
 
 // alloc returns an arena slot index, reusing a freed slot when possible.
@@ -175,6 +198,9 @@ func (e *Engine) At(t Time, fn Event) Handle {
 	s.fn = fn
 	e.seq++
 	e.queue = quadPush(slotOrder{e.slots}, e.queue, idx)
+	if len(e.queue) > e.peakPending {
+		e.peakPending = len(e.queue)
+	}
 	return Handle{e: e, idx: idx, gen: s.gen}
 }
 

@@ -110,6 +110,74 @@ func (s *Samples) TakeAll() []float64 {
 	return out
 }
 
+// Snapshot is a sorted, read-only view of a Samples collection at one
+// point in time: a single sort serves every quantile, where alternating
+// Add and P in a sampling loop would re-sort on each P call. The view
+// aliases the collection's buffer — take it after collection is done, and
+// do not Add to the source while using it.
+type Snapshot struct {
+	xs []float64
+}
+
+// Snapshot sorts the collection once (reusing any cached order) and
+// returns the quantile-serving view.
+func (s *Samples) Snapshot() Snapshot {
+	s.sort()
+	return Snapshot{xs: s.xs}
+}
+
+// Len returns the number of observations.
+func (v Snapshot) Len() int { return len(v.xs) }
+
+// P returns the q-quantile with the same interpolation as Samples.P, and
+// NaN when empty.
+func (v Snapshot) P(q float64) float64 {
+	if len(v.xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return v.xs[0]
+	}
+	if q >= 1 {
+		return v.xs[len(v.xs)-1]
+	}
+	pos := q * float64(len(v.xs)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(v.xs) {
+		return v.xs[i]
+	}
+	return v.xs[i]*(1-frac) + v.xs[i+1]*frac
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (v Snapshot) Min() float64 {
+	if len(v.xs) == 0 {
+		return math.NaN()
+	}
+	return v.xs[0]
+}
+
+// Max returns the largest observation, or NaN when empty.
+func (v Snapshot) Max() float64 {
+	if len(v.xs) == 0 {
+		return math.NaN()
+	}
+	return v.xs[len(v.xs)-1]
+}
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (v Snapshot) Mean() float64 {
+	if len(v.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range v.xs {
+		sum += x
+	}
+	return sum / float64(len(v.xs))
+}
+
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
 	X float64 // value

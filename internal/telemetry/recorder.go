@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// EventKind classifies flight-recorder events.
+type EventKind uint8
+
+// Event kinds. The set mirrors the signals the paper's workflow turns on:
+// probe traffic, window/admission dynamics, migrations, and faults.
+const (
+	// EvProbeTX: an edge sent a probe or finish probe (A = pair id, B =
+	// path index, Note = "probe"/"finish").
+	EvProbeTX EventKind = iota
+	// EvProbeRX: an edge received a probe response (A = pair id, B = path
+	// index, V = RTT in microseconds).
+	EvProbeRX
+	// EvWindow: a pair recomputed its Eqn-3 window from a response (A =
+	// pair id, B = window bytes, V = share bits/s).
+	EvWindow
+	// EvStage: a pair's two-stage admission changed stage (A = pair id,
+	// Note = "ramp"/"steady").
+	EvStage
+	// EvMigration: a pair migrated paths (A = pair id, B = new path
+	// index, Note = "urgent" for violation-triggered moves).
+	EvMigration
+	// EvFreeze: a migration attempt was suppressed by the freeze window
+	// (A = pair id).
+	EvFreeze
+	// EvRegister: a μFAB-C register changed from a probe (A = Φ delta in
+	// millitokens, B = W delta in bytes, Note = "update"/"remove").
+	EvRegister
+	// EvDrop: the dataplane dropped a packet (A = packet kind, B = queue
+	// bytes, Note = "overflow"/"fault"/"failed"/"noroute").
+	EvDrop
+	// EvFault: a chaos fault event was injected (Note = event kind, A = 1
+	// when applied, 0 when rejected).
+	EvFault
+	// EvTenant: a tenant arrived or departed (A = VF id, Note =
+	// "arrive"/"depart").
+	EvTenant
+)
+
+var eventKindNames = [...]string{
+	EvProbeTX:   "probe_tx",
+	EvProbeRX:   "probe_rx",
+	EvWindow:    "window",
+	EvStage:     "stage",
+	EvMigration: "migration",
+	EvFreeze:    "freeze",
+	EvRegister:  "register",
+	EvDrop:      "drop",
+	EvFault:     "fault",
+	EvTenant:    "tenant",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one flight-recorder entry. The fields are fixed scalars plus
+// two strings that call sites keep constant or precomputed, so recording
+// an event never allocates.
+type Event struct {
+	// T is simulated time in picoseconds.
+	T    int64
+	Kind EventKind
+	// Entity is the dotted instance the event belongs to, e.g. "ufabe.h3"
+	// or "link.core1-agg2" (precomputed at attach time).
+	Entity string
+	// A and B carry kind-specific scalars (see the EventKind docs).
+	A, B int64
+	// V carries a kind-specific float (rate, RTT, ...).
+	V float64
+	// Note is a short constant tag ("urgent", "overflow", ...).
+	Note string
+}
+
+// DefaultRecorderCap bounds the flight recorder's ring buffer (64k events
+// ≈ 4 MB). Deep enough to hold the full tail of any quick-scale run; long
+// runs keep the most recent window, which is what post-mortem debugging
+// wants.
+const DefaultRecorderCap = 1 << 16
+
+// Recorder is the run-trace flight recorder: a bounded in-memory ring of
+// structured events. Record is a safe no-op on a nil receiver, which is
+// the disabled fast path. A Recorder is single-goroutine, like the
+// simulation engine that feeds it.
+type Recorder struct {
+	buf     []Event
+	cap     int
+	start   int
+	total   uint64
+	wrapped bool
+}
+
+func newRecorder(capEvents int) *Recorder {
+	return &Recorder{cap: capEvents}
+}
+
+// Record appends an event, overwriting the oldest once the ring is full.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.total++
+	if !r.wrapped && len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.wrapped = true
+	r.buf[r.start] = ev
+	r.start++
+	if r.start == r.cap {
+		r.start = 0
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever recorded (retained + evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped returns how many events the ring has evicted.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// Events returns the retained events oldest-first. The slice is freshly
+// allocated.
+func (r *Recorder) Events() []Event {
+	if r == nil || len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
+// WriteJSONL writes the retained events as one JSON object per line,
+// oldest first. The encoding is hand-rolled so field order is fixed and
+// the output is byte-identical across runs with identical event streams.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, ev := range r.Events() {
+		writeEventJSON(bw, ev)
+	}
+	return bw.Flush()
+}
+
+func writeEventJSON(bw *bufio.Writer, ev Event) {
+	bw.WriteString(`{"t_ps":`)
+	bw.WriteString(strconv.FormatInt(ev.T, 10))
+	bw.WriteString(`,"kind":"`)
+	bw.WriteString(ev.Kind.String())
+	bw.WriteByte('"')
+	if ev.Entity != "" {
+		bw.WriteString(`,"entity":`)
+		bw.WriteString(strconv.Quote(ev.Entity))
+	}
+	if ev.A != 0 {
+		bw.WriteString(`,"a":`)
+		bw.WriteString(strconv.FormatInt(ev.A, 10))
+	}
+	if ev.B != 0 {
+		bw.WriteString(`,"b":`)
+		bw.WriteString(strconv.FormatInt(ev.B, 10))
+	}
+	if ev.V != 0 {
+		bw.WriteString(`,"v":`)
+		bw.WriteString(strconv.FormatFloat(ev.V, 'g', -1, 64))
+	}
+	if ev.Note != "" {
+		bw.WriteString(`,"note":`)
+		bw.WriteString(strconv.Quote(ev.Note))
+	}
+	bw.WriteString("}\n")
+}

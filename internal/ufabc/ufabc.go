@@ -17,6 +17,7 @@ import (
 	"ufab/internal/dataplane"
 	"ufab/internal/probe"
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -95,16 +96,69 @@ func (ls *linkState) cleanup(cutoff int64) (int64, int64) {
 type Agent struct {
 	cfg   Config
 	links map[topo.LinkID]*linkState
-	// ProbesSeen counts probes processed (telemetry volume accounting).
+
+	// ProbesSeen counts probes processed.
+	//
+	// Deprecated: use ProbesSeenCount; the field remains one PR as an
+	// alias while call sites move to the telemetry-backed accessors.
 	ProbesSeen uint64
-	// Restarts counts Restart calls (fault-injection telemetry).
+	// Restarts counts Restart calls.
+	//
+	// Deprecated: use RestartCount (see ProbesSeen).
 	Restarts uint64
+
+	// Telemetry (nil instruments when not attached — free no-ops). The
+	// base values snapshot each counter at attach time: experiments that
+	// build several fabrics against one registry reuse counter names, so
+	// the per-agent view is the delta since this agent attached.
+	entity                   string
+	cProbes                  *telemetry.Counter
+	cRestarts                *telemetry.Counter
+	cPhiChurn                *telemetry.Counter // sum |ΔΦ_l| in millitokens
+	cWChurn                  *telemetry.Counter // sum |ΔW_l| in bytes
+	baseProbes, baseRestarts int64
+	rec                      *telemetry.Recorder
 }
 
 // New returns an agent with the given configuration.
 func New(cfg Config) *Agent {
 	cfg.setDefaults()
 	return &Agent{cfg: cfg, links: make(map[topo.LinkID]*linkState)}
+}
+
+// AttachTelemetry registers this agent's instruments under
+// "ufabc.<instance>.*" and wires register-churn events into reg's flight
+// recorder. Call before the simulation starts; a nil reg is a no-op.
+func (a *Agent) AttachTelemetry(reg *telemetry.Registry, instance string) {
+	if reg == nil {
+		return
+	}
+	a.entity = "ufabc." + instance
+	a.cProbes = reg.Counter(a.entity + ".probes_seen")
+	a.cRestarts = reg.Counter(a.entity + ".restarts")
+	a.cPhiChurn = reg.Counter(a.entity + ".phi_churn_millitokens")
+	a.cWChurn = reg.Counter(a.entity + ".w_churn_bytes")
+	a.baseProbes = a.cProbes.Value()
+	a.baseRestarts = a.cRestarts.Value()
+	a.rec = reg.Recorder()
+}
+
+// ProbesSeenCount returns how many probes the agent has processed, from
+// the registry-backed counter when telemetry is attached.
+func (a *Agent) ProbesSeenCount() uint64 {
+	if a.cProbes != nil {
+		return uint64(a.cProbes.Value() - a.baseProbes)
+	}
+	return a.ProbesSeen
+}
+
+// RestartCount returns how many times the agent was restarted, from the
+// registry-backed counter when telemetry is attached.
+func (a *Agent) RestartCount() uint64 {
+	if a.cRestarts != nil {
+		return uint64(a.cRestarts.Value() - a.baseRestarts)
+	}
+	return a.Restarts
 }
 
 // StartCleanup registers the periodic silent-quit cleanup on the engine
@@ -128,6 +182,7 @@ func (a *Agent) StartCleanup(eng *sim.Engine) (stop func()) {
 func (a *Agent) Restart() {
 	a.links = make(map[topo.LinkID]*linkState)
 	a.Restarts++
+	a.cRestarts.Inc()
 }
 
 func (a *Agent) link(id topo.LinkID) *linkState {
@@ -184,6 +239,7 @@ func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Ti
 		return
 	}
 	a.ProbesSeen++
+	a.cProbes.Inc()
 	ls := a.link(out.Link.ID)
 	key := pairKey(p)
 	switch p.Kind {
@@ -192,10 +248,12 @@ func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Ti
 		dPhi, dW, _ := ls.update(key, phiMilli, p.Window, int64(now))
 		ls.phiMilli += dPhi
 		ls.windowBytes += dW
+		a.recordChurn(dPhi, dW, now, "update")
 	case probe.KindFinish:
 		dPhi, dW, _ := ls.remove(key)
 		ls.phiMilli += dPhi
 		ls.windowBytes += dW
+		a.recordChurn(dPhi, dW, now, "remove")
 	default:
 		return
 	}
@@ -217,6 +275,28 @@ func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Ti
 	}
 	pkt.Payload = buf
 	pkt.Size = p.Size()
+}
+
+// recordChurn accounts a register delta in the churn counters and the
+// flight recorder. A no-op when telemetry is unattached or the probe left
+// the registers untouched (the steady-state re-registration case).
+func (a *Agent) recordChurn(dPhi, dW int64, now sim.Time, note string) {
+	if a.cPhiChurn == nil || (dPhi == 0 && dW == 0) {
+		return
+	}
+	a.cPhiChurn.Add(abs64(dPhi))
+	a.cWChurn.Add(abs64(dW))
+	if a.rec != nil {
+		a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvRegister,
+			Entity: a.entity, A: dPhi, B: dW, Note: note})
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 func clampU32(v int64) uint32 {

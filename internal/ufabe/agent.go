@@ -16,6 +16,7 @@ import (
 	"ufab/internal/flowsrc"
 	"ufab/internal/probe"
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/token"
 	"ufab/internal/topo"
 )
@@ -179,19 +180,115 @@ type Agent struct {
 	// (used by application models).
 	OnReceive func(vm dataplane.VMPair, bytes int, now sim.Time)
 
-	// Telemetry counters for overhead accounting (Fig 15b).
+	// Overhead accounting counters (Fig 15b).
+	//
+	// Deprecated: use ProbesSentCount/ProbeBytesCount/DataBytesCount;
+	// the fields remain one PR as aliases while call sites move to the
+	// telemetry-backed accessors.
 	ProbesSent uint64
 	ProbeBytes uint64
 	DataBytes  uint64
 
-	// Migration telemetry for the fault experiments: completed path
+	// Migration counters for the fault experiments: completed path
 	// migrations, freeze windows armed by urgent migrations, and
 	// migration attempts suppressed by an active freeze window.
+	//
+	// Deprecated: use MigrationsCount/FreezesArmedCount/
+	// FreezeSuppressedCount (see ProbesSent).
 	Migrations       uint64
 	FreezesArmed     uint64
 	FreezeSuppressed uint64
 
+	// Telemetry (nil instruments when unattached — free no-ops). The
+	// base values snapshot each counter at attach time: experiments that
+	// build several fabrics against one registry reuse counter names, so
+	// the per-agent view is the delta since this agent attached.
+	entity                            string
+	cProbes                           *telemetry.Counter
+	cProbeB                           *telemetry.Counter
+	cDataB                            *telemetry.Counter
+	cMigr                             *telemetry.Counter
+	cFrArmed                          *telemetry.Counter
+	cFrSupp                           *telemetry.Counter
+	baseProbes, baseProbeB, baseDataB int64
+	baseMigr, baseFrArmed, baseFrSupp int64
+	rec                               *telemetry.Recorder
+
 	tokenLoopStop func()
+}
+
+// AttachTelemetry registers this agent's instruments under
+// "ufabe.<instance>.*" and wires probe/window/migration events into reg's
+// flight recorder. Call before the simulation starts; a nil reg is a
+// no-op.
+func (a *Agent) AttachTelemetry(reg *telemetry.Registry, instance string) {
+	if reg == nil {
+		return
+	}
+	a.entity = "ufabe." + instance
+	a.cProbes = reg.Counter(a.entity + ".probes_sent")
+	a.cProbeB = reg.Counter(a.entity + ".probe_bytes")
+	a.cDataB = reg.Counter(a.entity + ".data_bytes")
+	a.cMigr = reg.Counter(a.entity + ".migrations")
+	a.cFrArmed = reg.Counter(a.entity + ".freezes_armed")
+	a.cFrSupp = reg.Counter(a.entity + ".freeze_suppressed")
+	a.baseProbes = a.cProbes.Value()
+	a.baseProbeB = a.cProbeB.Value()
+	a.baseDataB = a.cDataB.Value()
+	a.baseMigr = a.cMigr.Value()
+	a.baseFrArmed = a.cFrArmed.Value()
+	a.baseFrSupp = a.cFrSupp.Value()
+	a.rec = reg.Recorder()
+}
+
+// MigrationsCount returns completed path migrations, from the
+// registry-backed counter when telemetry is attached.
+func (a *Agent) MigrationsCount() uint64 {
+	if a.cMigr != nil {
+		return uint64(a.cMigr.Value() - a.baseMigr)
+	}
+	return a.Migrations
+}
+
+// FreezesArmedCount returns freeze windows armed by urgent migrations.
+func (a *Agent) FreezesArmedCount() uint64 {
+	if a.cFrArmed != nil {
+		return uint64(a.cFrArmed.Value() - a.baseFrArmed)
+	}
+	return a.FreezesArmed
+}
+
+// FreezeSuppressedCount returns migration attempts suppressed by an
+// active freeze window.
+func (a *Agent) FreezeSuppressedCount() uint64 {
+	if a.cFrSupp != nil {
+		return uint64(a.cFrSupp.Value() - a.baseFrSupp)
+	}
+	return a.FreezeSuppressed
+}
+
+// ProbesSentCount returns probes emitted by this agent.
+func (a *Agent) ProbesSentCount() uint64 {
+	if a.cProbes != nil {
+		return uint64(a.cProbes.Value() - a.baseProbes)
+	}
+	return a.ProbesSent
+}
+
+// ProbeBytesCount returns probe bytes at delivery size.
+func (a *Agent) ProbeBytesCount() uint64 {
+	if a.cProbeB != nil {
+		return uint64(a.cProbeB.Value() - a.baseProbeB)
+	}
+	return a.ProbeBytes
+}
+
+// DataBytesCount returns data bytes handed to the wire.
+func (a *Agent) DataBytesCount() uint64 {
+	if a.cDataB != nil {
+		return uint64(a.cDataB.Value() - a.baseDataB)
+	}
+	return a.DataBytes
 }
 
 // New creates the agent for a host and installs it as the host's packet
@@ -433,6 +530,7 @@ func (a *Agent) trySend() {
 	p.lastProgress = now
 	a.armRTO(p)
 	a.DataBytes += uint64(size)
+	a.cDataB.Add(size)
 	ps := p.paths[p.active]
 	ps.inflight += size
 	a.net.Send(&dataplane.Packet{
@@ -490,6 +588,16 @@ func (a *Agent) sendProbe(p *Pair, pathIdx int, kind probe.Kind) {
 	}
 	a.ProbesSent++
 	a.ProbeBytes += uint64(probe.WireSize(len(ps.route))) // size at delivery
+	a.cProbes.Inc()
+	a.cProbeB.Add(int64(probe.WireSize(len(ps.route))))
+	if a.rec != nil {
+		note := "probe"
+		if kind == probe.KindFinish {
+			note = "finish"
+		}
+		a.rec.Record(telemetry.Event{T: int64(a.eng.Now()), Kind: telemetry.EvProbeTX,
+			Entity: a.entity, A: int64(p.ID), B: int64(pathIdx), Note: note})
+	}
 	// Probe-loss detection (§4.1): timeout at n·baseRTT, stretched by
 	// the smoothed measured RTT when standing queues dominate.
 	timeout := sim.Duration(a.cfg.ProbeTimeoutRTTs) * ps.baseRTT
@@ -686,6 +794,11 @@ func (a *Agent) handleResponse(pkt *dataplane.Packet) {
 	}
 	ps.lastRespAt = now
 	ps.lostProbes = 0
+	if a.rec != nil {
+		a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvProbeRX,
+			Entity: a.entity, A: int64(p.ID), B: int64(resp.PathID),
+			V: (now - sim.Time(resp.SentAt)).Micros()})
+	}
 	if rtt := now - sim.Time(resp.SentAt); rtt > 0 {
 		if ps.srtt == 0 {
 			ps.srtt = rtt
@@ -769,6 +882,11 @@ func (a *Agent) beginMigration(p *Pair) {
 	}
 	if now < a.freezeUntil {
 		a.FreezeSuppressed++
+		a.cFrSupp.Inc()
+		if a.rec != nil {
+			a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvFreeze,
+				Entity: a.entity, A: int64(p.ID), Note: "suppressed"})
+		}
 		return
 	}
 	p.migrating = true
@@ -916,6 +1034,15 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 	p.active = to
 	p.Migrations++
 	a.Migrations++
+	a.cMigr.Inc()
+	if a.rec != nil {
+		note := "planned"
+		if urgent {
+			note = "urgent"
+		}
+		a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvMigration,
+			Entity: a.entity, A: int64(p.ID), B: int64(to), Note: note})
+	}
 	p.violationStreak = 0
 	p.lastViolationAt = now
 	p.deliveredAtCheck = p.Delivered
@@ -930,6 +1057,11 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 		n := 1 + a.rng.Intn(a.cfg.FreezeMaxRTTs)
 		a.freezeUntil = now + sim.Duration(n)*p.paths[to].baseRTT
 		a.FreezesArmed++
+		a.cFrArmed.Inc()
+		if a.rec != nil {
+			a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvFreeze,
+				Entity: a.entity, A: int64(p.ID), B: int64(n), Note: "armed"})
+		}
 	}
 	a.scheduleSend()
 }

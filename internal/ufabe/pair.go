@@ -7,6 +7,7 @@ import (
 	"ufab/internal/probe"
 	"ufab/internal/sim"
 	"ufab/internal/stats"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -238,6 +239,10 @@ func (p *Pair) computeFromResponse(ps *pathState, resp *probe.Packet) {
 		ps.window = minWindow
 	}
 	ps.lastResp = resp
+	if a := p.agent; a.rec != nil {
+		a.rec.Record(telemetry.Event{T: int64(a.eng.Now()), Kind: telemetry.EvWindow,
+			Entity: a.entity, A: int64(p.ID), B: ps.window, V: ps.share})
+	}
 }
 
 // enterRamp starts two-stage admission: Scenario-1 (new pair, bootstrap
@@ -271,6 +276,16 @@ func (p *Pair) enterRamp(now sim.Time, scenario2 bool) {
 		p.rampWindow = min
 	}
 	p.lastRampAt = now
+	p.recordStage(now, "ramp")
+}
+
+// recordStage traces a two-stage-admission transition (no-op without a
+// recorder).
+func (p *Pair) recordStage(now sim.Time, note string) {
+	if a := p.agent; a.rec != nil {
+		a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvStage,
+			Entity: a.entity, A: int64(p.ID), Note: note})
+	}
 }
 
 // advanceRamp additively increases the ramp window by the proportional
@@ -295,5 +310,6 @@ func (p *Pair) advanceRamp(now sim.Time) {
 	p.lastRampAt = now
 	if int64(p.rampWindow) >= ps.window {
 		p.stage = stageSteady
+		p.recordStage(now, "steady")
 	}
 }

@@ -119,16 +119,17 @@ type FaultStats struct {
 	CorruptedProbes uint64
 }
 
-// FaultStats gathers the fabric-wide fault telemetry.
+// FaultStats gathers the fabric-wide fault telemetry, aggregating the
+// agents' registry-backed counters.
 func (f *Fabric) FaultStats() FaultStats {
 	var s FaultStats
 	for _, e := range f.Edges {
-		s.Migrations += e.Migrations
-		s.FreezesArmed += e.FreezesArmed
-		s.FreezeSuppressed += e.FreezeSuppressed
+		s.Migrations += e.MigrationsCount()
+		s.FreezesArmed += e.FreezesArmedCount()
+		s.FreezeSuppressed += e.FreezeSuppressedCount()
 	}
 	for _, c := range f.Cores {
-		s.CoreRestarts += c.Restarts
+		s.CoreRestarts += c.RestartCount()
 	}
 	s.FaultDrops = f.Net.FaultDrops
 	s.CorruptedProbes = f.Net.CorruptedProbes

@@ -17,6 +17,7 @@ import (
 	"ufab/internal/probe"
 	"ufab/internal/sim"
 	"ufab/internal/stats"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 	"ufab/internal/ufabc"
 	"ufab/internal/ufabe"
@@ -43,6 +44,12 @@ type Config struct {
 	DisableHostCoreAgents bool
 	// Seed drives path-candidate selection and the edge agents.
 	Seed int64
+	// Telemetry, if non-nil, attaches the unified registry to every layer
+	// of the fabric: per-link dataplane instruments, μFAB-C/μFAB-E agent
+	// counters, and the flight recorder (which must be enabled on the
+	// registry before New so drop/probe/migration events are captured).
+	// Instruments are published at sampling time by SampleRates.
+	Telemetry *telemetry.Registry
 }
 
 // VF is a tenant virtual fabric with a hose-model guarantee.
@@ -101,6 +108,7 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
 		cfg.MeterInterval = 500 * sim.Microsecond
 	}
 	cfg.Edge.Seed = cfg.Seed
+	cfg.Dataplane.Telemetry = cfg.Telemetry
 	f := &Fabric{
 		Eng:   eng,
 		Graph: g,
@@ -116,15 +124,19 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
 		switch {
 		case n.Kind == topo.Switch:
 			ag := ufabc.New(cfg.Core)
+			ag.AttachTelemetry(cfg.Telemetry, telemetry.Token(n.Name))
 			f.Net.SetSwitchAgent(n.ID, ag)
 			f.Cores[n.ID] = ag
 		case n.Kind == topo.Host:
 			if !cfg.DisableHostCoreAgents {
 				ag := ufabc.New(cfg.Core)
+				ag.AttachTelemetry(cfg.Telemetry, telemetry.Token(n.Name))
 				f.Net.SetSwitchAgent(n.ID, ag)
 				f.Cores[n.ID] = ag
 			}
-			f.Edges[n.ID] = ufabe.New(eng, f.Net, n.ID, cfg.Edge)
+			e := ufabe.New(eng, f.Net, n.ID, cfg.Edge)
+			e.AttachTelemetry(cfg.Telemetry, telemetry.Token(n.Name))
+			f.Edges[n.ID] = e
 		}
 	}
 	return f
@@ -255,6 +267,44 @@ func (f *Fabric) SampleRates() {
 		}
 		fl.Meter.Flush(now)
 	}
+	f.FlushTelemetry()
+}
+
+// FlushTelemetry publishes fabric-level instruments to the attached
+// registry: per-link dataplane gauges/series, per-link Φ_l/W_l registers
+// from the link's source μFAB-C agent, engine scheduling stats, and the
+// fabric-wide fault aggregates. It runs from SampleRates (the meter
+// interval) and is a no-op when telemetry is disabled.
+func (f *Fabric) FlushTelemetry() {
+	reg := f.Cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	now := f.Eng.Now()
+	f.Net.FlushTelemetry(now)
+	for i := range f.Graph.Links {
+		lid := topo.LinkID(i)
+		c := f.Cores[f.Graph.Link(lid).Src]
+		if c == nil {
+			continue
+		}
+		phi, w := c.Subscription(lid)
+		ent := f.Net.LinkEntity(lid)
+		reg.Gauge(ent + ".phi_tokens").Set(phi)
+		reg.Gauge(ent + ".window_bytes").Set(float64(w))
+	}
+	es := f.Eng.Stats()
+	reg.Gauge("sim.engine.events_processed").Set(float64(es.Processed))
+	reg.Gauge("sim.engine.pending").Set(float64(es.Pending))
+	reg.Gauge("sim.engine.peak_pending").Set(float64(es.PeakPending))
+	reg.Gauge("sim.engine.arena_slots").Set(float64(es.ArenaSlots))
+	fs := f.FaultStats()
+	reg.Gauge("vfabric.faults.migrations").Set(float64(fs.Migrations))
+	reg.Gauge("vfabric.faults.freezes_armed").Set(float64(fs.FreezesArmed))
+	reg.Gauge("vfabric.faults.freeze_suppressed").Set(float64(fs.FreezeSuppressed))
+	reg.Gauge("vfabric.faults.core_restarts").Set(float64(fs.CoreRestarts))
+	reg.Gauge("vfabric.faults.fault_drops").Set(float64(fs.FaultDrops))
+	reg.Gauge("vfabric.faults.corrupted_probes").Set(float64(fs.CorruptedProbes))
 }
 
 // StartSampling arranges for SampleRates to run every interval.
@@ -280,8 +330,8 @@ func (fl *Flow) Rate(from, to sim.Time) float64 {
 func (f *Fabric) ProbeOverhead() float64 {
 	var probeB, dataB uint64
 	for _, e := range f.Edges {
-		probeB += e.ProbeBytes
-		dataB += e.DataBytes
+		probeB += e.ProbeBytesCount()
+		dataB += e.DataBytesCount()
 	}
 	if probeB+dataB == 0 {
 		return 0
