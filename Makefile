@@ -4,9 +4,9 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check golden chaos trace
+.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace
 
-ci: build vet fmt-check test race bench check
+ci: build vet fmt-check test race bench check audit
 	@echo "CI gate passed"
 
 build:
@@ -26,7 +26,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/telemetry
-	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism'
+	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism|TestAuditParallelDeterminism'
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench.txt
@@ -35,6 +35,15 @@ bench:
 check:
 	$(GO) run ./cmd/ufabsim check
 	$(GO) run ./cmd/ufabsim check -telemetry
+
+# The audit gate: every fault-free run must audit clean, chaos scenarios
+# must produce their declared excused findings, and auditing must not
+# change a single golden metric. Findings land in findings.jsonl; the
+# auditor's overhead trajectory in BENCH_audit.json.
+audit:
+	$(GO) run ./cmd/ufabsim -quick -findings findings.jsonl audit all
+	$(GO) run ./cmd/ufabsim check -audit
+	$(GO) test -run '^$$' -bench BenchmarkAuditOverhead -benchtime 1x .
 
 golden:
 	$(GO) run ./cmd/ufabsim check -update

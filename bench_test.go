@@ -10,7 +10,10 @@
 package ufab
 
 import (
+	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"ufab/internal/experiments"
 )
@@ -99,3 +102,36 @@ func BenchmarkTable4CoreResources(b *testing.B) { runExperiment(b, "tab4") }
 // BenchmarkAblations — design-choice ablations (two-stage admission, GP,
 // migration, L_w) from DESIGN.md.
 func BenchmarkAblations(b *testing.B) { runExperiment(b, "abl") }
+
+// BenchmarkAuditOverhead pins the online predictability auditor's
+// marginal cost: the flap fault experiment (chaos events, excuse windows,
+// context capture — the auditor's worst case) is timed telemetry-only and
+// audited, and the delta is reported as overhead. The result is also
+// emitted as BENCH_audit.json so CI can track the trajectory across
+// commits.
+func BenchmarkAuditOverhead(b *testing.B) {
+	e := experiments.Find("flap")
+	if e == nil {
+		b.Fatal("unknown experiment flap")
+	}
+	var telem, audited time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		e.Run(experiments.Options{Quick: true, Seed: 1, Telemetry: true})
+		telem += time.Since(t0)
+		t1 := time.Now()
+		e.Run(experiments.Options{Quick: true, Seed: 1, Audit: true})
+		audited += time.Since(t1)
+	}
+	nsTelem := float64(telem.Nanoseconds()) / float64(b.N)
+	nsAudited := float64(audited.Nanoseconds()) / float64(b.N)
+	overheadPct := (nsAudited - nsTelem) / nsTelem * 100
+	b.ReportMetric(nsTelem, "telemetry_ns/op")
+	b.ReportMetric(nsAudited, "audited_ns/op")
+	b.ReportMetric(overheadPct, "audit_overhead_pct")
+	out := fmt.Sprintf(`{"benchmark":"audit_overhead","experiment":"flap","iterations":%d,"telemetry_ns_per_op":%.0f,"audited_ns_per_op":%.0f,"overhead_pct":%.2f}`+"\n",
+		b.N, nsTelem, nsAudited, overheadPct)
+	if err := os.WriteFile("BENCH_audit.json", []byte(out), 0o644); err != nil {
+		b.Fatalf("write BENCH_audit.json: %v", err)
+	}
+}

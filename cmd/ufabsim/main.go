@@ -14,14 +14,21 @@
 //	ufabsim -scenario f.json run chaoslab  # replay a fault scenario
 //	ufabsim -telemetry -metrics m.json run all  # export registry snapshots
 //	ufabsim trace fig15          # flight-recorder JSONL on stdout
+//	ufabsim trace -strict fig15  # fail if the recorder ring dropped events
+//	ufabsim -audit run fig15     # attach the predictability auditor
+//	ufabsim audit all            # audited replay; fail on unexcused findings
+//	ufabsim -findings f.jsonl audit all  # export findings as JSONL
 //	ufabsim check                # replay evaluation vs golden_metrics.json
 //	ufabsim check -update        # re-record the golden baseline
 //	ufabsim check -telemetry     # replay with instrumentation attached
+//	ufabsim check -audit         # replay audited; findings must be clean
 //
 // Experiment runs are deterministic per (experiment, quick, seed), so a
 // parallel batch produces Reports identical to a sequential one; only the
 // wall-time annotations differ. Telemetry never feeds back into the
-// simulation, so -telemetry does not change any result either.
+// simulation, so -telemetry does not change any result either; the same
+// holds for the auditor (-audit), which is a pure observer of the
+// telemetry stream.
 package main
 
 import (
@@ -47,6 +54,8 @@ func main() {
 	scenario := flag.String("scenario", "", "chaos scenario JSON file, replayed by the chaoslab experiment")
 	telemetry := flag.Bool("telemetry", false, "attach the unified telemetry registry (link/agent instruments + flight recorder) to each run's fabric")
 	metricsOut := flag.String("metrics", "", "write every run's registry snapshot as JSON to this file (implies -telemetry)")
+	auditFlag := flag.Bool("audit", false, "attach the online predictability auditor to each run's fabric (implies -telemetry for it)")
+	findingsOut := flag.String("findings", "", "write every run's audit findings as JSONL to this file (implies -audit)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	flag.Usage = usage
 	flag.Parse()
@@ -63,7 +72,8 @@ func main() {
 		}()
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed,
-		Telemetry: *telemetry || *metricsOut != ""}
+		Telemetry: *telemetry || *metricsOut != "",
+		Audit:     *auditFlag || *findingsOut != ""}
 	if *scenario != "" {
 		b, err := os.ReadFile(*scenario)
 		if err != nil {
@@ -79,6 +89,7 @@ func main() {
 	runner := &experiments.Runner{Jobs: *jobs, Timeout: *timeout}
 	exportCSV = *csvDir
 	exportMetrics = *metricsOut
+	exportFindings = *findingsOut
 	switch args[0] {
 	case "list":
 		for _, e := range experiments.All {
@@ -94,8 +105,10 @@ func main() {
 		run(runner, opts, *repeat, ids...)
 	case "trace":
 		trace(opts, args[1:])
+	case "audit":
+		auditCmd(runner, opts, *repeat, args[1:])
 	case "check":
-		check(runner, args[1:], opts.Telemetry)
+		check(runner, args[1:], opts.Telemetry, opts.Audit)
 	default:
 		usage()
 		os.Exit(2)
@@ -103,8 +116,9 @@ func main() {
 }
 
 var (
-	exportCSV     string
-	exportMetrics string
+	exportCSV      string
+	exportMetrics  string
+	exportFindings string
 )
 
 // run executes the batch on the worker pool and prints reports in job
@@ -138,6 +152,10 @@ func run(runner *experiments.Runner, opts experiments.Options, repeat int, ids .
 			}
 			fmt.Printf("-- %d curves exported to %s --\n", rep.SeriesCount(), exportCSV)
 		}
+		if rep.Findings != nil {
+			fmt.Printf("-- audit: %d excused / %d unexcused finding(s) --\n",
+				rep.Findings.Excused(), rep.Findings.Unexcused())
+		}
 		fmt.Printf("-- wall time %.1fs --\n\n", res.Wall.Seconds())
 	}
 	if exportMetrics != "" {
@@ -147,10 +165,117 @@ func run(runner *experiments.Runner, opts experiments.Options, repeat int, ids .
 		}
 		fmt.Printf("-- registry snapshots written to %s --\n", exportMetrics)
 	}
+	if exportFindings != "" {
+		if err := writeFindings(exportFindings, results, repeat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- audit findings written to %s --\n", exportFindings)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d/%d runs failed\n", failed, len(results))
 		os.Exit(1)
 	}
+}
+
+// writeFindings exports every run's audit findings as JSONL, one finding
+// per line with the experiment id prepended as the first field, so a
+// batch's findings remain attributable and the file is jq-friendly. Line
+// order is job order, so the file is byte-identical regardless of -jobs.
+func writeFindings(path string, results []experiments.RunResult, repeat int) error {
+	var buf bytes.Buffer
+	for _, res := range results {
+		if res.Err != nil || res.Report.Findings == nil {
+			continue
+		}
+		key := res.Job.Entry.ID
+		if repeat > 1 {
+			key = fmt.Sprintf("%s@seed%d", key, res.Job.Opts.Seed)
+		}
+		var runBuf bytes.Buffer
+		if err := res.Report.Findings.WriteJSONL(&runBuf); err != nil {
+			return err
+		}
+		for _, line := range bytes.SplitAfter(runBuf.Bytes(), []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			// Each finding line is `{"kind":...}`; splice the experiment id
+			// in as the leading field.
+			fmt.Fprintf(&buf, "{\"experiment\":%q,", key)
+			buf.Write(line[1:])
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// auditCmd replays experiments with the predictability auditor attached
+// and fails when any run has unexcused findings, drops findings, or
+// produces fewer excused findings than its chaos scenario declares. It is
+// the CLI face of the standing audit gate.
+func auditCmd(runner *experiments.Runner, opts experiments.Options, repeat int, ids []string) {
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = experiments.AllIDs()
+	}
+	opts.Audit = true
+	jobs, err := experiments.ExpandIDs(ids, opts, repeat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (try 'ufabsim list')\n", err)
+		os.Exit(1)
+	}
+	t0 := time.Now()
+	results := runner.Run(jobs)
+	bad := 0
+	audited := 0
+	for _, res := range results {
+		if res.Err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "FAIL: %v\n", res.Err)
+			continue
+		}
+		rep := res.Report
+		if rep.Findings == nil {
+			fmt.Printf("%-8s no fabric under audit\n", rep.ID)
+			continue
+		}
+		audited++
+		excused, unexcused := rep.Findings.Excused(), rep.Findings.Unexcused()
+		verdict := "clean"
+		if unexcused > 0 {
+			verdict = "VIOLATIONS"
+		}
+		fmt.Printf("%-8s %s: %d excused / %d unexcused finding(s)\n", rep.ID, verdict, excused, unexcused)
+		for _, f := range rep.Findings.Findings() {
+			if !f.Excused {
+				fmt.Printf("  %s %s [%d ps, %d ps] observed %g vs bound %g %s\n",
+					f.Kind, f.Entity, f.FromPS, f.ToPS, f.Observed, f.Bound, f.Unit)
+			}
+		}
+		if unexcused > 0 {
+			bad++
+		}
+		if d := rep.Findings.Dropped(); d > 0 {
+			bad++
+			fmt.Fprintf(os.Stderr, "%s: findings log dropped %d finding(s)\n", rep.ID, d)
+		}
+		if min := rep.Findings.ExpectExcusedMin; excused < min {
+			bad++
+			fmt.Fprintf(os.Stderr, "%s: %d excused finding(s), scenario declares >= %d — injected faults not observed\n",
+				rep.ID, excused, min)
+		}
+	}
+	if exportFindings != "" {
+		if err := writeFindings(exportFindings, results, repeat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- audit findings written to %s --\n", exportFindings)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "audit: %d problem(s) across %d runs\n", bad, len(results))
+		os.Exit(1)
+	}
+	fmt.Printf("audit ok: %d audited runs clean in %.1fs\n", audited, time.Since(t0).Seconds())
 }
 
 // writeMetrics dumps each run's full registry snapshot (headline metrics,
@@ -184,8 +309,12 @@ func writeMetrics(path string, results []experiments.RunResult, repeat int) erro
 // the recorded events as JSONL on stdout; the report text goes to stderr
 // so the two can be piped apart.
 func trace(opts experiments.Options, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "exit non-zero when the flight-recorder ring dropped events (the exported trace is incomplete)")
+	fs.Parse(args)
+	args = fs.Args()
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ufabsim [flags] trace <experiment>")
+		fmt.Fprintln(os.Stderr, "usage: ufabsim [flags] trace [-strict] <experiment>")
 		os.Exit(2)
 	}
 	e := experiments.Find(args[0])
@@ -201,14 +330,20 @@ func trace(opts experiments.Options, args []string) {
 		fmt.Fprintln(os.Stderr, "no flight recorder attached")
 		os.Exit(1)
 	}
-	if n := rec.Dropped(); n > 0 {
+	dropped := rec.Dropped()
+	if dropped > 0 {
 		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events (oldest %d dropped by the ring) --\n",
-			rec.Total(), n)
+			rec.Total(), dropped)
+		fmt.Fprintf(os.Stderr, "warning: the trace below is missing its oldest %d events — the ring wrapped; re-run with a larger recorder capacity or a shorter horizon for a complete trace\n",
+			dropped)
 	} else {
 		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events --\n", rec.Total())
 	}
 	if err := rec.WriteJSONL(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *strict && dropped > 0 {
 		os.Exit(1)
 	}
 }
@@ -217,12 +352,13 @@ func trace(opts experiments.Options, args []string) {
 // and fails on metric drift. With -update it re-records the baseline.
 // withTelemetry attaches the instrumentation during the replay — results
 // must be identical either way, so CI runs check in both modes.
-func check(runner *experiments.Runner, args []string, withTelemetry bool) {
+func check(runner *experiments.Runner, args []string, withTelemetry, withAudit bool) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	golden := fs.String("golden", "golden_metrics.json", "golden metrics file")
 	update := fs.Bool("update", false, "re-record the baseline instead of checking")
 	tol := fs.Float64("tol", 1e-6, "default relative tolerance when recording with -update")
 	telemetry := fs.Bool("telemetry", false, "attach the telemetry registry during the replay (results must not change)")
+	auditFlag := fs.Bool("audit", false, "attach the predictability auditor during the replay (results must not change, findings must be clean)")
 	fs.Parse(args)
 
 	opts := experiments.Options{Quick: true, Seed: 1}
@@ -237,6 +373,7 @@ func check(runner *experiments.Runner, args []string, withTelemetry bool) {
 		opts = g.Options
 	}
 	opts.Telemetry = withTelemetry || *telemetry
+	opts.Audit = withAudit || *auditFlag
 
 	t0 := time.Now()
 	jobs, err := experiments.ExpandIDs(experiments.AllIDs(), opts, 1)
@@ -263,9 +400,10 @@ func check(runner *experiments.Runner, args []string, withTelemetry bool) {
 	}
 	if *update {
 		g := experiments.BuildGolden(opts, reports, *tol)
-		// The baseline must never pin telemetry: check replays with the
-		// recorded options, and both modes must reproduce it.
+		// The baseline must never pin telemetry or auditing: check replays
+		// with the recorded options, and every mode must reproduce it.
 		g.Options.Telemetry = false
+		g.Options.Audit = false
 		if err := g.Save(*golden); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -281,9 +419,32 @@ func check(runner *experiments.Runner, args []string, withTelemetry bool) {
 		}
 		os.Exit(1)
 	}
+	if opts.Audit {
+		bad := 0
+		for _, rep := range reports {
+			if rep.Findings == nil {
+				continue
+			}
+			if n := rep.Findings.Unexcused(); n > 0 {
+				bad++
+				fmt.Fprintf(os.Stderr, "%s: %d unexcused audit finding(s)\n", rep.ID, n)
+			}
+			if min := rep.Findings.ExpectExcusedMin; rep.Findings.Excused() < min {
+				bad++
+				fmt.Fprintf(os.Stderr, "%s: %d excused finding(s), scenario declares >= %d\n",
+					rep.ID, rep.Findings.Excused(), min)
+			}
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+	}
 	mode := "telemetry off"
 	if opts.Telemetry {
 		mode = "telemetry on"
+	}
+	if opts.Audit {
+		mode += ", audited"
 	}
 	fmt.Printf("check ok: %d experiments match %s in %.1fs (%s)\n", len(reports), *golden, wall, mode)
 }
@@ -295,8 +456,9 @@ usage:
   ufabsim [flags] list
   ufabsim [flags] run all | <id>...
   ufabsim [flags] tables
-  ufabsim [flags] trace <id>
-  ufabsim [flags] check [-golden file] [-update] [-tol t] [-telemetry]
+  ufabsim [flags] trace [-strict] <id>
+  ufabsim [flags] audit all | <id>...
+  ufabsim [flags] check [-golden file] [-update] [-tol t] [-telemetry] [-audit]
 
 flags:
 `)

@@ -1,0 +1,60 @@
+package audit
+
+import "testing"
+
+// BenchmarkAuditorTick measures the steady-state cost of one auditor tick
+// over a mid-size fabric: 32 links, 64 pairs, 16 VFs. This is the marginal
+// per-sample overhead an audited run pays on top of telemetry.
+func BenchmarkAuditorTick(b *testing.B) {
+	const (
+		nLinks = 32
+		nPairs = 64
+		nVFs   = 16
+	)
+	a := New(Config{})
+	s := &Sample{
+		Links: make([]LinkSample, nLinks),
+		Pairs: make([]PairSample, nPairs),
+		VFs:   make([]VFSample, nVFs),
+	}
+	entities := make([]string, nLinks)
+	for i := range entities {
+		entities[i] = "link.bench-" + string(rune('a'+i%26))
+	}
+	routes := make([][]int32, nPairs)
+	for i := range routes {
+		routes[i] = []int32{int32(i % nLinks), int32((i + 1) % nLinks)}
+	}
+	t := int64(0)
+	fill := func() {
+		t += tickPS
+		bytesAt := func(rate float64) int64 { return int64(rate / 8 * float64(t) / 1e12) }
+		for i := range s.Links {
+			s.Links[i] = LinkSample{
+				Entity: entities[i], TargetBps: 9.5e9, TxBytes: uint64(bytesAt(8e9)),
+				QueueBytes: 4096, HasCore: true, PhiTokens: 80, WindowBytes: 200_000,
+				LivePhiCand: 80, LivePhiActive: 80,
+			}
+		}
+		for i := range s.Pairs {
+			s.Pairs[i] = PairSample{
+				VM: int64(1000 + i), VF: int32(i % nVFs), PhiBps: 2e9,
+				Backlogged: true, Delivered: bytesAt(2e9), Links: routes[i],
+			}
+		}
+		for i := range s.VFs {
+			s.VFs[i] = VFSample{ID: int32(i), GuaranteeBps: 2e9}
+		}
+	}
+	// Warm past the window so the steady-state path (with rate queries and
+	// pruned histories) is what gets measured.
+	for i := 0; i < 50; i++ {
+		fill()
+		a.Tick(s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+		a.Tick(s)
+	}
+}

@@ -163,6 +163,18 @@ func (ev *Event) detail() string {
 type Scenario struct {
 	Name   string  `json:"name"`
 	Events []Event `json:"events"`
+	// ExpectExcusedMin declares how many excused audit findings this
+	// scenario must produce at minimum when run under the online auditor —
+	// the assertion that the injected damage was actually observed. Zero
+	// means no expectation.
+	ExpectExcusedMin int `json:"expect_excused_min,omitempty"`
+}
+
+// ExpectExcused sets ExpectExcusedMin and returns the scenario for
+// chaining.
+func (s *Scenario) ExpectExcused(n int) *Scenario {
+	s.ExpectExcusedMin = n
+	return s
 }
 
 // New returns an empty scenario.

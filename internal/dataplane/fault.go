@@ -95,6 +95,16 @@ func (n *Network) LinkDegraded(l topo.LinkID) bool {
 	return n.validLink(l) && n.faults[l].deg.active()
 }
 
+// EffectiveCapacity returns a link's line rate after any gray-fault
+// capacity scaling (0 for out-of-range ids) — what the link can actually
+// carry right now, as opposed to Port.Capacity's configured line rate.
+func (n *Network) EffectiveCapacity(l topo.LinkID) float64 {
+	if !n.validLink(l) {
+		return 0
+	}
+	return n.effectiveCapacity(&n.Ports[l])
+}
+
 // effectiveCapacity is the link line rate after any degradation.
 func (n *Network) effectiveCapacity(port *Port) float64 {
 	c := port.Link.Capacity

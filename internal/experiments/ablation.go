@@ -35,7 +35,7 @@ func Ablations(o Options) *Report {
 	incast := func(mutate func(*vfabric.Config)) (maxRTT float64, maxQ int, overhead float64) {
 		eng := sim.New()
 		st := topo.NewStar(n+1, topo.Gbps(10), 5*sim.Microsecond)
-		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
+		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)}
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -74,7 +74,12 @@ func Ablations(o Options) *Report {
 		st := topo.NewStar(3, topo.Gbps(10), 5*sim.Microsecond)
 		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
 		if disable {
+			// GP off is deliberate sabotage of the guarantee machinery — the
+			// auditor would (correctly) flag it, so only the healthy variant
+			// is audited.
 			cfg.Edge.TokenPeriod = -1
+		} else {
+			cfg.Audit = o.fabricAudit(r)
 		}
 		uf := vfabric.New(eng, st.Graph, cfg)
 		vf := uf.AddVF(1, 4e9, 4) // 40-token hose
@@ -110,6 +115,11 @@ func Ablations(o Options) *Report {
 		eng := sim.New()
 		tt := topo.NewTwoTier(2, 3, topo.Gbps(10), 5*sim.Microsecond)
 		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
+		if !pinned {
+			// The pinned variant deliberately overcommits one path (that is
+			// the ablation); only the healthy multi-candidate run is audited.
+			cfg.Audit = o.fabricAudit(r)
+		}
 		uf := vfabric.New(eng, tt.Graph, cfg)
 		var flows []*vfabric.Flow
 		for i := 0; i < 3; i++ {

@@ -5,6 +5,7 @@ package experiments
 
 import (
 	"ufab/internal/apps"
+	"ufab/internal/audit"
 	"ufab/internal/dataplane"
 	"ufab/internal/sim"
 	"ufab/internal/telemetry"
@@ -26,8 +27,8 @@ type ufabNet struct {
 	conns map[connKey]*workload.Messages
 }
 
-func newUFABNet(eng *sim.Engine, g *topo.Graph, seed int64, prime bool, reg *telemetry.Registry) *ufabNet {
-	cfg := vfabric.Config{Seed: seed, Telemetry: reg}
+func newUFABNet(eng *sim.Engine, g *topo.Graph, seed int64, prime bool, reg *telemetry.Registry, aud *audit.Config) *ufabNet {
+	cfg := vfabric.Config{Seed: seed, Telemetry: reg, Audit: aud}
 	cfg.Edge.DisableTwoStage = prime
 	return &ufabNet{f: vfabric.New(eng, g, cfg), conns: map[connKey]*workload.Messages{}}
 }
@@ -77,13 +78,14 @@ func (n *baselineNet) Dial(vf int32, tokens float64, src, dst topo.NodeID) *work
 	return msgs
 }
 
-// appsNetFor builds the apps.Net for a scheme.
-func appsNetFor(sc scheme, eng *sim.Engine, g *topo.Graph, seed int64, reg *telemetry.Registry) apps.Net {
+// appsNetFor builds the apps.Net for a scheme. Only the μFAB schemes are
+// audited (the baselines make no guarantees to check).
+func appsNetFor(sc scheme, eng *sim.Engine, g *topo.Graph, seed int64, reg *telemetry.Registry, aud *audit.Config) apps.Net {
 	switch sc {
 	case schemeUFAB:
-		return newUFABNet(eng, g, seed, false, reg)
+		return newUFABNet(eng, g, seed, false, reg, aud)
 	case schemeUFABPrime:
-		return newUFABNet(eng, g, seed, true, reg)
+		return newUFABNet(eng, g, seed, true, reg, aud)
 	case schemePWC:
 		return newBaselineNet(eng, g, blhost.PWC, seed, reg)
 	default:
@@ -135,7 +137,7 @@ func Fig13(o Options) *Report {
 		for _, v := range variants {
 			eng := sim.New()
 			tb := topo.NewTestbed(topo.TestbedConfig{})
-			net := appsNetFor(v.sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r))
+			net := appsNetFor(v.sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
 			if uf, ok := net.(*ufabNet); ok {
 				// Tenant hoses: Memcached 2G, MongoDB 6G.
 				uf.f.AddVF(1, 2e9, 3)
@@ -198,7 +200,7 @@ func Fig14(o Options) *Report {
 		for _, sc := range []scheme{schemePWC, schemeES, schemeUFAB} {
 			eng := sim.New()
 			tb := topo.NewTestbed(topo.TestbedConfig{})
-			net := appsNetFor(sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r))
+			net := appsNetFor(sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
 			if uf, ok := net.(*ufabNet); ok {
 				uf.f.AddVF(101, 2e9, 3) // SA
 				uf.f.AddVF(102, 6e9, 5) // BA

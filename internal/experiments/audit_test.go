@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// dumpFindings renders a findings log for a test failure message.
+func dumpFindings(t *testing.T, r *Report) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Findings.WriteJSONL(&b); err != nil {
+		t.Fatalf("%s: WriteJSONL: %v", r.ID, err)
+	}
+	return b.String()
+}
+
+// TestAuditAllExperimentsClean is the standing auditor gate: every
+// fault-free experiment in the registry must audit clean — zero
+// unexcused findings — and every fault-injection experiment must stay
+// clean outside its declared fault windows while producing at least the
+// excused findings its scenario declares.
+func TestAuditAllExperimentsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full audited batch is not -short material")
+	}
+	jobs, err := ExpandIDs(AllIDs(), Options{Quick: true, Seed: 1, Audit: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := (&Runner{}).Run(jobs)
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("%v", res.Err)
+		}
+		r := res.Report
+		if r.Findings == nil {
+			// No μFAB fabric under audit (resource-model tables,
+			// baseline-only motivation figures).
+			continue
+		}
+		if n := r.Findings.Unexcused(); n != 0 {
+			t.Errorf("%s: %d unexcused finding(s):\n%s", r.ID, n, dumpFindings(t, r))
+		}
+		if d := r.Findings.Dropped(); d != 0 {
+			t.Errorf("%s: findings log dropped %d findings (cap too small or auditor runaway)", r.ID, d)
+		}
+		if min := r.Findings.ExpectExcusedMin; r.Findings.Excused() < min {
+			t.Errorf("%s: %d excused finding(s), scenario declares >= %d — injected faults were not observed",
+				r.ID, r.Findings.Excused(), min)
+		}
+	}
+}
+
+// auditIDs keeps the audited determinism gate cheap while spanning a
+// baseline comparison (fig4), a multi-fabric run with a chaos crash
+// (fig15), and a fault-suite flap whose excuse windows must land
+// identically (flap).
+var auditIDs = []string{"fig4", "fig15", "flap"}
+
+// TestAuditParallelDeterminism extends the `-jobs`-proof gate to the
+// audited path: with the auditor attached, both the rendered report and
+// the exported findings JSONL must be byte-identical between a
+// sequential and a parallel batch.
+func TestAuditParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		opts := Options{Quick: true, Seed: seed, Audit: true}
+		jobs, err := ExpandIDs(auditIDs, opts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := (&Runner{Jobs: 1}).Run(jobs)
+		par := (&Runner{Jobs: 8}).Run(jobs)
+		for i := range seq {
+			if seq[i].Err != nil || par[i].Err != nil {
+				t.Fatalf("seed %d job %d: errs %v / %v", seed, i, seq[i].Err, par[i].Err)
+			}
+			a, b := seq[i].Report, par[i].Report
+			if as, bs := a.String(), b.String(); as != bs {
+				t.Errorf("seed %d %s: rendered reports differ between -jobs 1 and -jobs 8", seed, a.ID)
+			}
+			if af, bf := dumpFindings(t, a), dumpFindings(t, b); af != bf {
+				t.Errorf("seed %d %s: findings JSONL differs between -jobs 1 and -jobs 8:\n--- sequential\n%s--- parallel\n%s",
+					seed, a.ID, af, bf)
+			}
+		}
+	}
+}
+
+// TestAuditDoesNotChangeResults guards the auditor's pure-observer
+// contract: enabling it must leave every headline metric exactly as in
+// an unaudited run.
+func TestAuditDoesNotChangeResults(t *testing.T) {
+	for _, id := range []string{"fig15", "flap"} {
+		e := Find(id)
+		if e == nil {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		plain := e.Run(Options{Quick: true, Seed: 1}).Metrics()
+		audited := e.Run(Options{Quick: true, Seed: 1, Audit: true}).Metrics()
+		if !reflect.DeepEqual(plain, audited) {
+			t.Errorf("%s: metrics changed under audit:\noff: %v\non:  %v", id, plain, audited)
+		}
+	}
+}

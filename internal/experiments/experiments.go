@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ufab/internal/audit"
 	"ufab/internal/dataplane"
 	"ufab/internal/sim"
 	"ufab/internal/stats"
@@ -47,17 +48,41 @@ type Options struct {
 	// are bit-identical with it on or off. Excluded from the golden
 	// encoding.
 	Telemetry bool `json:"-"`
+	// Audit additionally runs the online predictability auditor over the
+	// fabric under test (implies Telemetry for that fabric): every
+	// sampling tick is checked against the min-bandwidth, work
+	// conservation, queue-bound and register-accounting invariants, with
+	// findings collected in Report.Findings. Like Telemetry, the auditor
+	// is a pure observer — headline metrics and golden comparison are
+	// unaffected. Excluded from the golden encoding.
+	Audit bool `json:"-"`
 }
 
 // fabricTelemetry returns the registry a fabric under test should attach
 // (the report's own registry, flight recorder enabled), or nil when o
 // does not ask for telemetry.
 func (o Options) fabricTelemetry(r *Report) *telemetry.Registry {
-	if !o.Telemetry {
+	if !o.Telemetry && !o.Audit {
 		return nil
 	}
 	r.Reg.EnableRecorder(0)
 	return r.Reg
+}
+
+// fabricAudit returns the auditor configuration a fabric under test
+// should attach, or nil when o does not ask for auditing. All audited
+// fabrics of one run share the report's findings log. Experiments whose
+// point is a deliberately crippled variant (pinned paths, disabled token
+// loop) must not pass the result to that variant — the auditor would
+// correctly flag the sabotage.
+func (o Options) fabricAudit(r *Report) *audit.Config {
+	if !o.Audit {
+		return nil
+	}
+	if r.Findings == nil {
+		r.Findings = &audit.Log{}
+	}
+	return &audit.Config{Log: r.Findings}
 }
 
 // Report is an experiment's structured result, built on the unified
@@ -73,6 +98,11 @@ type Report struct {
 	Lines []string
 	// Reg is the run's unified telemetry registry.
 	Reg *telemetry.Registry
+	// Findings is the predictability auditor's output when the run was
+	// audited (Options.Audit); nil otherwise. Deliberately not a headline
+	// metric: golden comparison must stay identical with auditing on or
+	// off.
+	Findings *audit.Log
 
 	order       []string // headline metric names, insertion order
 	seriesNames []string // attached series names, insertion order
@@ -306,12 +336,14 @@ func (h *flowHandle) delivered() int64 {
 
 // newSystem builds a deployment of the given scheme over g. A non-nil
 // reg attaches the run's telemetry registry: the full fabric for μFAB
-// schemes, the dataplane link instruments for baselines.
-func newSystem(s scheme, eng *sim.Engine, g *topo.Graph, seed int64, reg *telemetry.Registry) *system {
+// schemes, the dataplane link instruments for baselines. A non-nil aud
+// additionally attaches the predictability auditor to μFAB schemes
+// (baselines make no μFAB guarantees to audit).
+func newSystem(s scheme, eng *sim.Engine, g *topo.Graph, seed int64, reg *telemetry.Registry, aud *audit.Config) *system {
 	sys := &system{scheme: s, eng: eng, graph: g}
 	switch s {
 	case schemeUFAB, schemeUFABPrime:
-		cfg := vfabric.Config{Seed: seed, Telemetry: reg}
+		cfg := vfabric.Config{Seed: seed, Telemetry: reg, Audit: aud}
 		cfg.Edge.DisableTwoStage = s == schemeUFABPrime
 		sys.uf = vfabric.New(eng, g, cfg)
 	case schemePWC:

@@ -30,7 +30,7 @@ func Fig15(o Options) *Report {
 	// ---- (a) predictability under churn and failure ----
 	eng := sim.New()
 	tb := topo.NewTestbed(topo.TestbedConfig{LinkCapacity: topo.Gbps(100)})
-	uf := vfabric.New(eng, tb.Graph, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)})
+	uf := vfabric.New(eng, tb.Graph, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)})
 	guarantees := []float64{5e9, 5e9, 5e9, 10e9, 10e9, 10e9, 15e9}
 	var flows []*vfabric.Flow
 	for i, g := range guarantees {
@@ -83,7 +83,7 @@ func Fig15(o Options) *Report {
 	for _, n := range counts {
 		eng2 := sim.New()
 		st := topo.NewStar(2, topo.Gbps(100), 2*sim.Microsecond)
-		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
+		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)}
 		cfg.Edge.ProbePayloadBytes = lw
 		uf2 := vfabric.New(eng2, st.Graph, cfg)
 		vf := uf2.AddVF(1, 50e9, 6)

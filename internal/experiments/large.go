@@ -47,7 +47,7 @@ func Fig16(o Options) *Report {
 	for _, sc := range []scheme{schemePWC, schemeES, schemeUFABPrime, schemeUFAB} {
 		eng := sim.New()
 		st := topo.NewStar(n+1, topo.Gbps(100), 2*sim.Microsecond)
-		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r))
+		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
 		var flows []*flowHandle
 		for i := 0; i < n; i++ {
 			fh := sys.addFlow(int32(i+1), 1e9, st.Hosts[i], st.Hosts[n])
@@ -141,7 +141,7 @@ func Fig17(o Options) *Report {
 		for _, sc := range []scheme{schemePWC, schemeES, schemeUFAB} {
 			eng := sim.New()
 			cl := topo.NewClos(cell.clos)
-			sys := newSystem(sc, eng, cl.Graph, o.Seed, o.fabricTelemetry(r))
+			sys := newSystem(sc, eng, cl.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
 			dist := workload.WebSearch()
 			type pairState struct {
 				msgs      *workload.Messages

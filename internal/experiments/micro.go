@@ -35,7 +35,7 @@ func Fig4(o Options) *Report {
 		for _, n := range degrees {
 			eng := sim.New()
 			st := topo.NewStar(n+1, topo.Gbps(10), 5*sim.Microsecond)
-			sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r))
+			sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
 			var flows []*flowHandle
 			for i := 0; i < n; i++ {
 				fh := sys.addFlow(int32(i+1), 500e6, st.Hosts[i], st.Hosts[n])
@@ -134,7 +134,7 @@ func Fig5(o Options) *Report {
 		var uf *vfabric.Fabric
 		var bl *blhost.Fabric
 		if sc == schemeUFAB {
-			uf = vfabric.New(eng, tt.Graph, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)})
+			uf = vfabric.New(eng, tt.Graph, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)})
 		} else {
 			bl = blhost.NewFabric(eng, tt.Graph, blhost.Config{
 				Scheme: blhost.PWC, CloveGap: gap, Seed: o.Seed,
@@ -254,7 +254,7 @@ func Fig11(o Options) *Report {
 	for _, sc := range []scheme{schemeUFAB, schemePWC, schemeES} {
 		eng := sim.New()
 		tb := topo.NewTestbed(topo.TestbedConfig{})
-		sys := newSystem(sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r))
+		sys := newSystem(sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
 		type vfFlow struct {
 			fh        *flowHandle
 			guarantee float64
@@ -332,7 +332,7 @@ func Fig12(o Options) *Report {
 	for _, sc := range []scheme{schemePWC, schemeES, schemeUFABPrime, schemeUFAB} {
 		eng := sim.New()
 		st := topo.NewStar(n+1, topo.Gbps(10), 5*sim.Microsecond)
-		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r))
+		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
 		var flows []*flowHandle
 		for i := 0; i < n; i++ {
 			fh := sys.addFlow(int32(i+1), 500e6, st.Hosts[i], st.Hosts[n])

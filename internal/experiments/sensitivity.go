@@ -31,7 +31,7 @@ func Fig18(o Options) *Report {
 		for _, n := range []int{2, 3, 4, 10} {
 			eng := sim.New()
 			tt := topo.NewTwoTier(3, nFlows, topo.Gbps(10), 5*sim.Microsecond)
-			cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
+			cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)}
 			cfg.Edge.FreezeMaxRTTs = n
 			uf := vfabric.New(eng, tt.Graph, cfg)
 			// Synchronized arrival: all VFs join at once, so initial
@@ -85,7 +85,7 @@ func Fig18(o Options) *Report {
 	}{{"self-clocking", 0}, {"2 RTT", 2}, {"3 RTT", 3}} {
 		eng := sim.New()
 		st := topo.NewStar(17, topo.Gbps(10), 5*sim.Microsecond)
-		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)}
+		cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)}
 		cfg.Edge.PeriodicProbeRTTs = pf.rtts
 		uf := vfabric.New(eng, st.Graph, cfg)
 		var flows []*vfabric.Flow
@@ -132,7 +132,7 @@ func Fig19(o Options) *Report {
 	r := NewReport("fig19", "primal control reaction delay")
 	eng := sim.New()
 	st := topo.NewStar(3, topo.Gbps(10), 5*sim.Microsecond)
-	uf := vfabric.New(eng, st.Graph, vfabric.Config{Seed: o.Seed, MeterInterval: 25 * sim.Microsecond, Telemetry: o.fabricTelemetry(r)})
+	uf := vfabric.New(eng, st.Graph, vfabric.Config{Seed: o.Seed, MeterInterval: 25 * sim.Microsecond, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)})
 	vfA := uf.AddVF(1, 2e9, 3)
 	vfB := uf.AddVF(2, 2e9, 3)
 	a := uf.AddFlow(vfA, st.Hosts[0], st.Hosts[2], 0)
@@ -202,7 +202,7 @@ func Fig20(o Options) *Report {
 		g.AddDuplexLink(h, sw, topo.Gbps(100), prop)
 		hosts = append(hosts, h)
 	}
-	uf := vfabric.New(eng, g, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r)})
+	uf := vfabric.New(eng, g, vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)})
 	var flows []*flowHandle
 	for i := 0; i < n; i++ {
 		vf := uf.AddVF(int32(i+1), 500e6, 2)

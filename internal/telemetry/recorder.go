@@ -99,6 +99,7 @@ type Recorder struct {
 	start   int
 	total   uint64
 	wrapped bool
+	subs    []func(Event)
 }
 
 func newRecorder(capEvents int) *Recorder {
@@ -111,6 +112,9 @@ func (r *Recorder) Record(ev Event) {
 		return
 	}
 	r.total++
+	for _, fn := range r.subs {
+		fn(ev)
+	}
 	if !r.wrapped && len(r.buf) < r.cap {
 		r.buf = append(r.buf, ev)
 		return
@@ -121,6 +125,17 @@ func (r *Recorder) Record(ev Event) {
 	if r.start == r.cap {
 		r.start = 0
 	}
+}
+
+// Subscribe registers fn to observe every subsequently recorded event,
+// called synchronously from Record in recording order — subscribers see
+// events the ring has already evicted. fn must not re-enter Record. A nil
+// receiver ignores the subscription (the disabled fast path).
+func (r *Recorder) Subscribe(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.subs = append(r.subs, fn)
 }
 
 // Len returns the number of retained events.
@@ -168,12 +183,17 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	}
 	bw := bufio.NewWriter(w)
 	for _, ev := range r.Events() {
-		writeEventJSON(bw, ev)
+		WriteEventJSON(bw, ev)
+		bw.WriteByte('\n')
 	}
 	return bw.Flush()
 }
 
-func writeEventJSON(bw *bufio.Writer, ev Event) {
+// WriteEventJSON writes one event as a single JSON object (no trailing
+// newline), fields in fixed order with zero-valued fields omitted — the
+// encoding WriteJSONL uses per line, exported so other emitters (the
+// audit findings log) embed events byte-identically.
+func WriteEventJSON(bw *bufio.Writer, ev Event) {
 	bw.WriteString(`{"t_ps":`)
 	bw.WriteString(strconv.FormatInt(ev.T, 10))
 	bw.WriteString(`,"kind":"`)
@@ -199,5 +219,5 @@ func writeEventJSON(bw *bufio.Writer, ev Event) {
 		bw.WriteString(`,"note":`)
 		bw.WriteString(strconv.Quote(ev.Note))
 	}
-	bw.WriteString("}\n")
+	bw.WriteByte('}')
 }

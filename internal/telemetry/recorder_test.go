@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fillRecorder records n events with T = 0..n-1 so position in the stream
+// is recoverable from the timestamp.
+func fillRecorder(rec *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		rec.Record(Event{T: int64(i), Kind: EvWindow, Entity: "ufabe.h0", A: int64(i % 7)})
+	}
+}
+
+func TestRecorderExactlyAtDefaultCap(t *testing.T) {
+	r := New()
+	rec := r.EnableRecorder(0) // DefaultRecorderCap
+	fillRecorder(rec, DefaultRecorderCap)
+	if got := rec.Len(); got != DefaultRecorderCap {
+		t.Fatalf("Len = %d, want %d", got, DefaultRecorderCap)
+	}
+	if got := rec.Total(); got != DefaultRecorderCap {
+		t.Fatalf("Total = %d, want %d", got, DefaultRecorderCap)
+	}
+	if got := rec.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0: the ring is exactly full, nothing evicted", got)
+	}
+	evs := rec.Events()
+	if len(evs) != DefaultRecorderCap {
+		t.Fatalf("Events len = %d, want %d", len(evs), DefaultRecorderCap)
+	}
+	if evs[0].T != 0 || evs[len(evs)-1].T != DefaultRecorderCap-1 {
+		t.Fatalf("Events range [%d, %d], want [0, %d]", evs[0].T, evs[len(evs)-1].T, DefaultRecorderCap-1)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != DefaultRecorderCap {
+		t.Fatalf("JSONL lines = %d, want %d", len(lines), DefaultRecorderCap)
+	}
+	if !strings.HasPrefix(lines[0], `{"t_ps":0,`) {
+		t.Fatalf("first line = %q, want t_ps 0", lines[0])
+	}
+}
+
+func TestRecorderPastDefaultCap(t *testing.T) {
+	const extra = 1000
+	r := New()
+	rec := r.EnableRecorder(0)
+	fillRecorder(rec, DefaultRecorderCap+extra)
+	if got := rec.Len(); got != DefaultRecorderCap {
+		t.Fatalf("Len = %d, want cap %d", got, DefaultRecorderCap)
+	}
+	if got := rec.Total(); got != DefaultRecorderCap+extra {
+		t.Fatalf("Total = %d, want %d", got, DefaultRecorderCap+extra)
+	}
+	if got := rec.Dropped(); got != extra {
+		t.Fatalf("Dropped = %d, want %d", got, extra)
+	}
+	evs := rec.Events()
+	if len(evs) != DefaultRecorderCap {
+		t.Fatalf("Events len = %d, want %d", len(evs), DefaultRecorderCap)
+	}
+	// Oldest retained is the first not evicted; ordering must be strict.
+	if evs[0].T != extra {
+		t.Fatalf("oldest retained T = %d, want %d", evs[0].T, extra)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T != evs[i-1].T+1 {
+			t.Fatalf("Events out of order at %d: T %d after %d", i, evs[i].T, evs[i-1].T)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != DefaultRecorderCap {
+		t.Fatalf("JSONL lines = %d, want %d", len(lines), DefaultRecorderCap)
+	}
+	wantFirst := `{"t_ps":` + strconv.Itoa(extra) + `,`
+	if !strings.HasPrefix(lines[0], wantFirst) {
+		t.Fatalf("first JSONL line = %q, want prefix %q", lines[0], wantFirst)
+	}
+	wantLast := `{"t_ps":` + strconv.Itoa(DefaultRecorderCap+extra-1) + `,`
+	if !strings.HasPrefix(lines[len(lines)-1], wantLast) {
+		t.Fatalf("last JSONL line = %q, want prefix %q", lines[len(lines)-1], wantLast)
+	}
+}
+
+func TestRecorderSubscribe(t *testing.T) {
+	r := New()
+	rec := r.EnableRecorder(4)
+	var seen []int64
+	rec.Subscribe(func(ev Event) { seen = append(seen, ev.T) })
+	var seen2 int
+	rec.Subscribe(func(Event) { seen2++ })
+	fillRecorder(rec, 10)
+	// Subscribers observe the full stream, including evicted events.
+	if len(seen) != 10 || seen2 != 10 {
+		t.Fatalf("subscribers saw %d/%d events, want 10/10", len(seen), seen2)
+	}
+	for i, tp := range seen {
+		if tp != int64(i) {
+			t.Fatalf("subscriber order broken at %d: T = %d", i, tp)
+		}
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("ring retained %d, want 4", rec.Len())
+	}
+	// Nil receiver and nil callback are no-ops.
+	var nilRec *Recorder
+	nilRec.Subscribe(func(Event) { t.Fatal("subscriber on nil recorder must never fire") })
+	nilRec.Record(Event{})
+	rec.Subscribe(nil)
+	rec.Record(Event{T: 99})
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := New()
+	a := r.Counter("agent.h0.probes")
+	b := r.Counter("agent.h1.probes")
+	g := r.Gauge("link.a-b.qlen_bytes")
+	a.Add(5)
+	g.Set(10)
+	prev := r.Snapshot()
+	a.Add(3)
+	b.Inc()
+	g.Set(4)
+	r.Counter("agent.h2.probes").Add(7) // born after prev: diffs against 0
+	r.Gauge("link.c-d.qlen_bytes")      // zero-valued: no delta
+	d := r.Snapshot().Diff(prev)
+	if len(d.Counters) != 3 {
+		t.Fatalf("counter deltas = %+v, want 3 entries", d.Counters)
+	}
+	want := map[string]int64{"agent.h0.probes": 3, "agent.h1.probes": 1, "agent.h2.probes": 7}
+	for _, c := range d.Counters {
+		if want[c.Name] != c.Value {
+			t.Fatalf("delta %s = %d, want %d", c.Name, c.Value, want[c.Name])
+		}
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Name != "link.a-b.qlen_bytes" || d.Gauges[0].Value != -6 {
+		t.Fatalf("gauge deltas = %+v, want link.a-b.qlen_bytes = -6", d.Gauges)
+	}
+	// No changes → empty diff.
+	snap := r.Snapshot()
+	if d := snap.Diff(snap); len(d.Counters) != 0 || len(d.Gauges) != 0 {
+		t.Fatalf("self-diff not empty: %+v", d)
+	}
+}

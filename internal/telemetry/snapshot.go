@@ -78,6 +78,42 @@ func (r *Registry) GaugeValue(name string) float64 {
 	return r.gauges[name].Value()
 }
 
+// Diff returns the instrument deltas between prev and s: every counter or
+// gauge whose value changed, carrying value − previous (instruments absent
+// from prev diff against zero). Series are omitted — their rings already
+// retain history. Both snapshots must come from Registry.Snapshot (sorted
+// by name); the result is sorted the same way.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	var out Snapshot
+	i := 0
+	for _, c := range s.Counters {
+		for i < len(prev.Counters) && prev.Counters[i].Name < c.Name {
+			i++
+		}
+		var base int64
+		if i < len(prev.Counters) && prev.Counters[i].Name == c.Name {
+			base = prev.Counters[i].Value
+		}
+		if d := c.Value - base; d != 0 {
+			out.Counters = append(out.Counters, CounterValue{Name: c.Name, Value: d})
+		}
+	}
+	i = 0
+	for _, g := range s.Gauges {
+		for i < len(prev.Gauges) && prev.Gauges[i].Name < g.Name {
+			i++
+		}
+		var base float64
+		if i < len(prev.Gauges) && prev.Gauges[i].Name == g.Name {
+			base = prev.Gauges[i].Value
+		}
+		if d := g.Value - base; d != 0 {
+			out.Gauges = append(out.Gauges, GaugeValue{Name: g.Name, Value: d})
+		}
+	}
+	return out
+}
+
 // WriteJSON writes the snapshot as deterministic JSON: instruments sorted
 // by name, fields in fixed order, floats in Go's shortest 'g' form. Two
 // snapshots of identical runs serialize byte-identically.

@@ -97,20 +97,11 @@ type Agent struct {
 	cfg   Config
 	links map[topo.LinkID]*linkState
 
-	// ProbesSeen counts probes processed.
-	//
-	// Deprecated: use ProbesSeenCount; the field remains one PR as an
-	// alias while call sites move to the telemetry-backed accessors.
-	ProbesSeen uint64
-	// Restarts counts Restart calls.
-	//
-	// Deprecated: use RestartCount (see ProbesSeen).
-	Restarts uint64
-
-	// Telemetry (nil instruments when not attached — free no-ops). The
-	// base values snapshot each counter at attach time: experiments that
-	// build several fabrics against one registry reuse counter names, so
-	// the per-agent view is the delta since this agent attached.
+	// Telemetry. New seeds private counters so counts accrue without a
+	// registry; AttachTelemetry swaps in the shared registry-backed ones.
+	// The base values snapshot each counter at attach time: experiments
+	// that build several fabrics against one registry reuse counter names,
+	// so the per-agent view is the delta since this agent attached.
 	entity                   string
 	cProbes                  *telemetry.Counter
 	cRestarts                *telemetry.Counter
@@ -123,7 +114,14 @@ type Agent struct {
 // New returns an agent with the given configuration.
 func New(cfg Config) *Agent {
 	cfg.setDefaults()
-	return &Agent{cfg: cfg, links: make(map[topo.LinkID]*linkState)}
+	return &Agent{
+		cfg:       cfg,
+		links:     make(map[topo.LinkID]*linkState),
+		cProbes:   &telemetry.Counter{},
+		cRestarts: &telemetry.Counter{},
+		cPhiChurn: &telemetry.Counter{},
+		cWChurn:   &telemetry.Counter{},
+	}
 }
 
 // AttachTelemetry registers this agent's instruments under
@@ -143,22 +141,16 @@ func (a *Agent) AttachTelemetry(reg *telemetry.Registry, instance string) {
 	a.rec = reg.Recorder()
 }
 
-// ProbesSeenCount returns how many probes the agent has processed, from
-// the registry-backed counter when telemetry is attached.
+// ProbesSeenCount returns how many probes the agent has processed (the
+// delta since AttachTelemetry when a registry is attached).
 func (a *Agent) ProbesSeenCount() uint64 {
-	if a.cProbes != nil {
-		return uint64(a.cProbes.Value() - a.baseProbes)
-	}
-	return a.ProbesSeen
+	return uint64(a.cProbes.Value() - a.baseProbes)
 }
 
-// RestartCount returns how many times the agent was restarted, from the
-// registry-backed counter when telemetry is attached.
+// RestartCount returns how many times the agent was restarted (the delta
+// since AttachTelemetry when a registry is attached).
 func (a *Agent) RestartCount() uint64 {
-	if a.cRestarts != nil {
-		return uint64(a.cRestarts.Value() - a.baseRestarts)
-	}
-	return a.Restarts
+	return uint64(a.cRestarts.Value() - a.baseRestarts)
 }
 
 // StartCleanup registers the periodic silent-quit cleanup on the engine
@@ -181,7 +173,6 @@ func (a *Agent) StartCleanup(eng *sim.Engine) (stop func()) {
 // sees stale pre-restart entries and re-registration cannot double-count.
 func (a *Agent) Restart() {
 	a.links = make(map[topo.LinkID]*linkState)
-	a.Restarts++
 	a.cRestarts.Inc()
 }
 
@@ -238,7 +229,6 @@ func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Ti
 		// such garbage out of the Φ_l register (NaN fails the comparison).
 		return
 	}
-	a.ProbesSeen++
 	a.cProbes.Inc()
 	ls := a.link(out.Link.ID)
 	key := pairKey(p)

@@ -201,7 +201,7 @@ func TestDataPacketsUntouched(t *testing.T) {
 	if phi, w := ag.Subscription(route[1]); phi != 0 || w != 0 {
 		t.Error("data packet affected registers")
 	}
-	if ag.ProbesSeen != 0 {
+	if ag.ProbesSeenCount() != 0 {
 		t.Error("data packet counted as probe")
 	}
 }
@@ -263,8 +263,8 @@ func TestRestartWipesAndRebuildsWithoutDoubleCount(t *testing.T) {
 		t.Fatalf("pre-restart registers: Φ=%v W=%d", phi, w)
 	}
 	ag.Restart()
-	if ag.Restarts != 1 {
-		t.Errorf("Restarts = %d, want 1", ag.Restarts)
+	if ag.RestartCount() != 1 {
+		t.Errorf("RestartCount = %d, want 1", ag.RestartCount())
 	}
 	if phi, w := ag.Subscription(route[1]); phi != 0 || w != 0 {
 		t.Fatalf("post-restart registers not wiped: Φ=%v W=%d", phi, w)

@@ -180,29 +180,13 @@ type Agent struct {
 	// (used by application models).
 	OnReceive func(vm dataplane.VMPair, bytes int, now sim.Time)
 
-	// Overhead accounting counters (Fig 15b).
-	//
-	// Deprecated: use ProbesSentCount/ProbeBytesCount/DataBytesCount;
-	// the fields remain one PR as aliases while call sites move to the
-	// telemetry-backed accessors.
-	ProbesSent uint64
-	ProbeBytes uint64
-	DataBytes  uint64
-
-	// Migration counters for the fault experiments: completed path
-	// migrations, freeze windows armed by urgent migrations, and
-	// migration attempts suppressed by an active freeze window.
-	//
-	// Deprecated: use MigrationsCount/FreezesArmedCount/
-	// FreezeSuppressedCount (see ProbesSent).
-	Migrations       uint64
-	FreezesArmed     uint64
-	FreezeSuppressed uint64
-
-	// Telemetry (nil instruments when unattached — free no-ops). The
-	// base values snapshot each counter at attach time: experiments that
-	// build several fabrics against one registry reuse counter names, so
-	// the per-agent view is the delta since this agent attached.
+	// Telemetry: overhead accounting (Fig 15b) and migration counters for
+	// the fault experiments. New seeds private counters so counts accrue
+	// without a registry; AttachTelemetry swaps in the shared
+	// registry-backed ones. The base values snapshot each counter at
+	// attach time: experiments that build several fabrics against one
+	// registry reuse counter names, so the per-agent view is the delta
+	// since this agent attached.
 	entity                            string
 	cProbes                           *telemetry.Counter
 	cProbeB                           *telemetry.Counter
@@ -241,54 +225,36 @@ func (a *Agent) AttachTelemetry(reg *telemetry.Registry, instance string) {
 	a.rec = reg.Recorder()
 }
 
-// MigrationsCount returns completed path migrations, from the
-// registry-backed counter when telemetry is attached.
+// MigrationsCount returns completed path migrations (the delta since
+// AttachTelemetry when a registry is attached).
 func (a *Agent) MigrationsCount() uint64 {
-	if a.cMigr != nil {
-		return uint64(a.cMigr.Value() - a.baseMigr)
-	}
-	return a.Migrations
+	return uint64(a.cMigr.Value() - a.baseMigr)
 }
 
 // FreezesArmedCount returns freeze windows armed by urgent migrations.
 func (a *Agent) FreezesArmedCount() uint64 {
-	if a.cFrArmed != nil {
-		return uint64(a.cFrArmed.Value() - a.baseFrArmed)
-	}
-	return a.FreezesArmed
+	return uint64(a.cFrArmed.Value() - a.baseFrArmed)
 }
 
 // FreezeSuppressedCount returns migration attempts suppressed by an
 // active freeze window.
 func (a *Agent) FreezeSuppressedCount() uint64 {
-	if a.cFrSupp != nil {
-		return uint64(a.cFrSupp.Value() - a.baseFrSupp)
-	}
-	return a.FreezeSuppressed
+	return uint64(a.cFrSupp.Value() - a.baseFrSupp)
 }
 
 // ProbesSentCount returns probes emitted by this agent.
 func (a *Agent) ProbesSentCount() uint64 {
-	if a.cProbes != nil {
-		return uint64(a.cProbes.Value() - a.baseProbes)
-	}
-	return a.ProbesSent
+	return uint64(a.cProbes.Value() - a.baseProbes)
 }
 
 // ProbeBytesCount returns probe bytes at delivery size.
 func (a *Agent) ProbeBytesCount() uint64 {
-	if a.cProbeB != nil {
-		return uint64(a.cProbeB.Value() - a.baseProbeB)
-	}
-	return a.ProbeBytes
+	return uint64(a.cProbeB.Value() - a.baseProbeB)
 }
 
 // DataBytesCount returns data bytes handed to the wire.
 func (a *Agent) DataBytesCount() uint64 {
-	if a.cDataB != nil {
-		return uint64(a.cDataB.Value() - a.baseDataB)
-	}
-	return a.DataBytes
+	return uint64(a.cDataB.Value() - a.baseDataB)
 }
 
 // New creates the agent for a host and installs it as the host's packet
@@ -315,6 +281,12 @@ func New(eng *sim.Engine, net *dataplane.Network, host topo.NodeID, cfg Config) 
 		recvVFTokens: make(map[int32]float64),
 		recvPairs:    make(map[dataplane.VMPair]*recvPair),
 		uplinkCap:    g.Link(g.Node(host).Out[0]).Capacity,
+		cProbes:      &telemetry.Counter{},
+		cProbeB:      &telemetry.Counter{},
+		cDataB:       &telemetry.Counter{},
+		cMigr:        &telemetry.Counter{},
+		cFrArmed:     &telemetry.Counter{},
+		cFrSupp:      &telemetry.Counter{},
 	}
 	net.SetHandler(host, a)
 	if cfg.TokenPeriod > 0 {
@@ -529,7 +501,6 @@ func (a *Agent) trySend() {
 	p.seq++
 	p.lastProgress = now
 	a.armRTO(p)
-	a.DataBytes += uint64(size)
 	a.cDataB.Add(size)
 	ps := p.paths[p.active]
 	ps.inflight += size
@@ -586,10 +557,8 @@ func (a *Agent) sendProbe(p *Pair, pathIdx int, kind probe.Kind) {
 	if kind == probe.KindProbe && pathIdx == p.active {
 		p.wantProbe = false
 	}
-	a.ProbesSent++
-	a.ProbeBytes += uint64(probe.WireSize(len(ps.route))) // size at delivery
 	a.cProbes.Inc()
-	a.cProbeB.Add(int64(probe.WireSize(len(ps.route))))
+	a.cProbeB.Add(int64(probe.WireSize(len(ps.route)))) // size at delivery
 	if a.rec != nil {
 		note := "probe"
 		if kind == probe.KindFinish {
@@ -881,7 +850,6 @@ func (a *Agent) beginMigration(p *Pair) {
 		return
 	}
 	if now < a.freezeUntil {
-		a.FreezeSuppressed++
 		a.cFrSupp.Inc()
 		if a.rec != nil {
 			a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvFreeze,
@@ -1033,7 +1001,6 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 	})
 	p.active = to
 	p.Migrations++
-	a.Migrations++
 	a.cMigr.Inc()
 	if a.rec != nil {
 		note := "planned"
@@ -1056,7 +1023,6 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 		// Freeze window: one migration per [1,N]-RTT window per host.
 		n := 1 + a.rng.Intn(a.cfg.FreezeMaxRTTs)
 		a.freezeUntil = now + sim.Duration(n)*p.paths[to].baseRTT
-		a.FreezesArmed++
 		a.cFrArmed.Inc()
 		if a.rec != nil {
 			a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvFreeze,

@@ -175,6 +175,16 @@ func (p *Pair) Window() int64 {
 // Inflight returns the bytes in flight.
 func (p *Pair) Inflight() int64 { return p.inflight }
 
+// PathCount returns how many candidate paths the pair probes.
+func (p *Pair) PathCount() int { return len(p.paths) }
+
+// Route returns candidate path i's route.
+func (p *Pair) Route(i int) topo.Path { return p.paths[i].route }
+
+// Idle reports whether the pair has gone idle (no pending demand for the
+// idle timeout) and released its admission.
+func (p *Pair) Idle() bool { return p.idle }
+
 // computeFromResponse derives {r, w, qualified, subscription} for a path
 // from a probe response, implementing Eqns (1) and (3).
 func (p *Pair) computeFromResponse(ps *pathState, resp *probe.Packet) {

@@ -144,7 +144,7 @@ func TestSelfClockedProbing(t *testing.T) {
 	rtt := p.paths[p.active].baseRTT.Seconds()
 	rate := float64(p.Delivered*8) / (2 * sim.Millisecond).Seconds()
 	expected := (2 * sim.Millisecond).Seconds() / (rtt + 4096/(rate/8))
-	got := float64(r.src.ProbesSent)
+	got := float64(r.src.ProbesSentCount())
 	if got < 0.4*expected || got > 2.5*expected {
 		t.Errorf("probes sent = %.0f, want ≈%.0f (RTT-limited self-clocking)", got, expected)
 	}
@@ -309,8 +309,8 @@ func TestPeriodicProbingMode(t *testing.T) {
 	// self-clocking would send at 9.5G.
 	rtts := float64(2*sim.Millisecond) / float64(p.paths[p.active].baseRTT)
 	maxExpected := rtts/3*2 + 10
-	if float64(r.src.ProbesSent) > maxExpected {
-		t.Errorf("periodic probing sent %d probes, want ≤ %.0f", r.src.ProbesSent, maxExpected)
+	if float64(r.src.ProbesSentCount()) > maxExpected {
+		t.Errorf("periodic probing sent %d probes, want ≤ %.0f", r.src.ProbesSentCount(), maxExpected)
 	}
 }
 

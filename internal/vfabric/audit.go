@@ -1,0 +1,184 @@
+package vfabric
+
+import (
+	"sort"
+
+	"ufab/internal/audit"
+	"ufab/internal/sim"
+	"ufab/internal/topo"
+)
+
+// auditState holds the fabric's auditor and the reusable sample buffers
+// the per-tick collector fills. Everything is preallocated or reused so an
+// audited run's marginal cost is bounded and — more importantly — so the
+// collector never perturbs the simulation it observes.
+type auditState struct {
+	a      *audit.Auditor
+	eta    float64
+	sample audit.Sample
+	// Per-link accumulators, indexed by LinkID.
+	cand   []float64
+	act    []float64
+	stamp  []int64 // per-pair dedup stamp for cand
+	seq    int64
+	faulty []bool
+	// Per-flow active-route buffers (audit.PairSample.Links).
+	routes [][]int32
+}
+
+// initAudit wires the auditor into a freshly assembled fabric. Audit
+// requires telemetry: the excused-window and context machinery feed off
+// the flight recorder, and an auditor without it would silently report
+// chaos damage as bugs.
+func (f *Fabric) initAudit(cfg *Config) {
+	if cfg.Audit == nil {
+		return
+	}
+	if cfg.Telemetry == nil {
+		panic("vfabric: Config.Audit requires Config.Telemetry")
+	}
+	ac := *cfg.Audit
+	if cfg.Edge.DisableTwoStage {
+		// μFAB′ removes the admission ramp, and with it the burst bound the
+		// queue check derives from — the invariant doesn't exist there.
+		ac.DisableQueueBound = true
+	}
+	if ac.AcctHoldPS == 0 {
+		// Register residue after a pair vanishes is legitimate until the
+		// silent-quit cleanup expires it: only drift persisting past the
+		// declared staleness bound (period + age) is a bug.
+		cp := cfg.Core.CleanupPeriod
+		if cp == 0 {
+			cp = 10 * sim.Second
+		}
+		ca := cfg.Core.CleanupAge
+		if ca == 0 {
+			ca = cp
+		}
+		ac.AcctHoldPS = int64(cp + ca)
+	}
+	eta := cfg.Core.TargetUtilization
+	if eta == 0 {
+		eta = 0.95
+	}
+	nLinks := len(f.Graph.Links)
+	f.aud = &auditState{
+		a:      audit.New(ac),
+		eta:    eta,
+		cand:   make([]float64, nLinks),
+		act:    make([]float64, nLinks),
+		stamp:  make([]int64, nLinks),
+		faulty: make([]bool, nLinks),
+	}
+	f.aud.sample.Links = make([]audit.LinkSample, nLinks)
+	cfg.Telemetry.Recorder().Subscribe(f.aud.a.ObserveEvent)
+}
+
+// AuditLog returns the findings sink of the fabric's auditor (nil when
+// auditing is off).
+func (f *Fabric) AuditLog() *audit.Log {
+	if f.aud == nil {
+		return nil
+	}
+	return f.aud.a.Log()
+}
+
+// auditTick snapshots the fabric into an audit.Sample and feeds the
+// auditor. It runs from SampleRates, after telemetry flush, so the
+// auditor sees exactly the sampling cadence the run reports at.
+func (f *Fabric) auditTick() {
+	au := f.aud
+	if au == nil {
+		return
+	}
+	s := &au.sample
+	s.T = int64(f.Eng.Now())
+
+	// Live register references: sum each non-idle pair's token over its
+	// candidate-path links (what μFAB-C should have admitted at most) and
+	// its active-path links (what must still be registered).
+	for i := range au.cand {
+		au.cand[i] = 0
+		au.act[i] = 0
+	}
+	for _, fl := range f.Flows {
+		p := fl.Pair
+		if p.Idle() {
+			continue
+		}
+		phi := p.Phi()
+		au.seq++
+		for i := 0; i < p.PathCount(); i++ {
+			for _, lid := range p.Route(i) {
+				if au.stamp[lid] != au.seq {
+					au.stamp[lid] = au.seq
+					au.cand[lid] += phi
+				}
+			}
+		}
+		for _, lid := range p.ActivePath() {
+			au.act[lid] += phi
+		}
+	}
+
+	for i := range f.Graph.Links {
+		lid := topo.LinkID(i)
+		link := f.Graph.Link(lid)
+		port := f.Net.Port(lid)
+		core := f.Cores[link.Src]
+		au.faulty[i] = f.Net.LinkFailed(lid) || f.Net.LinkDegraded(lid) ||
+			f.Net.Failed(link.Src) || f.Net.Failed(link.Dst)
+		ls := &s.Links[i]
+		*ls = audit.LinkSample{
+			Entity:        f.Net.LinkEntity(lid),
+			TargetBps:     au.eta * f.Net.EffectiveCapacity(lid),
+			TxBytes:       port.TxBytes,
+			QueueBytes:    int64(port.QueueBytes()),
+			HasCore:       core != nil,
+			LivePhiCand:   au.cand[i],
+			LivePhiActive: au.act[i],
+			Faulty:        au.faulty[i],
+		}
+		if core != nil {
+			phi, w := core.Subscription(lid)
+			ls.PhiTokens = phi
+			ls.WindowBytes = w
+		}
+	}
+
+	for len(au.routes) < len(f.Flows) {
+		au.routes = append(au.routes, nil)
+	}
+	s.Pairs = s.Pairs[:0]
+	for i, fl := range f.Flows {
+		p := fl.Pair
+		route := au.routes[i][:0]
+		pairFaulty := false
+		for _, lid := range p.ActivePath() {
+			route = append(route, int32(lid))
+			if au.faulty[lid] {
+				pairFaulty = true
+			}
+		}
+		au.routes[i] = route
+		s.Pairs = append(s.Pairs, audit.PairSample{
+			VM:         int64(p.ID),
+			VF:         p.VF,
+			PhiBps:     p.Guarantee(),
+			Backlogged: !p.Idle() && fl.Demand != nil && fl.Demand.Pending() > 0,
+			Delivered:  p.Delivered,
+			Migrations: p.Migrations,
+			Links:      route,
+			Faulty:     pairFaulty,
+		})
+	}
+
+	s.VFs = s.VFs[:0]
+	for _, id := range f.vfOrder {
+		vf := f.VFs[id]
+		s.VFs = append(s.VFs, audit.VFSample{ID: vf.ID, GuaranteeBps: vf.GuaranteeBps})
+	}
+	sort.Slice(s.VFs, func(i, j int) bool { return s.VFs[i].ID < s.VFs[j].ID })
+
+	au.a.Tick(s)
+}

@@ -92,6 +92,12 @@ func (f *Fabric) RemoveVF(id int32) bool {
 		}
 	}
 	delete(f.VFs, id)
+	for i, vid := range f.vfOrder {
+		if vid == id {
+			f.vfOrder = append(f.vfOrder[:i], f.vfOrder[i+1:]...)
+			break
+		}
+	}
 	if len(vf.pairs) > 0 {
 		flows := f.Flows[:0]
 		for _, fl := range f.Flows {

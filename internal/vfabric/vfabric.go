@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ufab/internal/audit"
 	"ufab/internal/dataplane"
 	"ufab/internal/probe"
 	"ufab/internal/sim"
@@ -50,6 +51,13 @@ type Config struct {
 	// registry before New so drop/probe/migration events are captured).
 	// Instruments are published at sampling time by SampleRates.
 	Telemetry *telemetry.Registry
+	// Audit, if non-nil, attaches the online predictability auditor: every
+	// SampleRates tick is checked against the min-bandwidth, work
+	// conservation, queue-bound and register-accounting invariants, with
+	// findings reported into Audit.Log (a fresh log when nil — read it
+	// back via AuditLog). Requires Telemetry; enable the registry's flight
+	// recorder so chaos faults open excused windows.
+	Audit *audit.Config
 }
 
 // VF is a tenant virtual fabric with a hose-model guarantee.
@@ -91,8 +99,10 @@ type Fabric struct {
 	VFs   map[int32]*VF
 	Flows []*Flow
 
-	nextVM dataplane.VMPair
-	rng    *rand.Rand
+	nextVM  dataplane.VMPair
+	rng     *rand.Rand
+	vfOrder []int32
+	aud     *auditState
 }
 
 // New assembles a fabric over the topology: μFAB-C on every switch (and
@@ -139,6 +149,7 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
 			f.Edges[n.ID] = e
 		}
 	}
+	f.initAudit(&cfg)
 	return f
 }
 
@@ -193,6 +204,7 @@ func (f *Fabric) AddVF(id int32, guaranteeBps float64, weightClass int) *VF {
 	}
 	vf := &VF{ID: id, GuaranteeBps: guaranteeBps, WeightClass: weightClass}
 	f.VFs[id] = vf
+	f.vfOrder = append(f.vfOrder, id)
 	return vf
 }
 
@@ -268,6 +280,7 @@ func (f *Fabric) SampleRates() {
 		fl.Meter.Flush(now)
 	}
 	f.FlushTelemetry()
+	f.auditTick()
 }
 
 // FlushTelemetry publishes fabric-level instruments to the attached
