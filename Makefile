@@ -4,7 +4,7 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace
+.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place
 
 ci: build vet fmt-check test race bench check audit
 	@echo "CI gate passed"
@@ -26,6 +26,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/telemetry
+	$(GO) test -race ./internal/placement
 	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism|TestAuditParallelDeterminism'
 
 bench:
@@ -51,6 +52,13 @@ golden:
 # The fault-injection suite (internal/chaos) at full scale.
 chaos:
 	$(GO) run ./cmd/ufabsim run flap gray restart churn chaoslab
+
+# The control-plane suite (internal/placement) at full scale, plus the
+# admission-ledger benchmark (incremental update vs full recompute;
+# trajectory lands in BENCH_placement.json).
+place:
+	$(GO) run ./cmd/ufabsim run placecmp placechurn placesweep
+	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 100x .
 
 # Flight-recorder sample: the chaoslab run's event stream as JSONL.
 trace:

@@ -11,11 +11,15 @@ package ufab
 
 import (
 	"fmt"
+	mrand "math/rand"
 	"os"
 	"testing"
 	"time"
 
 	"ufab/internal/experiments"
+	"ufab/internal/placement"
+	"ufab/internal/sim"
+	"ufab/internal/topo"
 )
 
 // runExperiment executes the experiment once per benchmark iteration and
@@ -133,5 +137,65 @@ func BenchmarkAuditOverhead(b *testing.B) {
 		b.N, nsTelem, nsAudited, overheadPct)
 	if err := os.WriteFile("BENCH_audit.json", []byte(out), 0o644); err != nil {
 		b.Fatalf("write BENCH_audit.json: %v", err)
+	}
+}
+
+// BenchmarkAdmission pins the subscription ledger's incremental-update
+// claim: with a few hundred tenants standing on a 3-tier Clos, one
+// admit+release round (O(affected links)) is timed against a
+// from-scratch recomputation of the whole ledger (Verify — O(tenants ×
+// paths)), and the speedup is reported. The result is also emitted as
+// BENCH_placement.json so CI can track the trajectory across commits.
+func BenchmarkAdmission(b *testing.B) {
+	cl := topo.NewClos(topo.ClosConfig{
+		Pods: 4, ToRsPerPod: 2, AggsPerPod: 2, Cores: 4, HostsPerToR: 4,
+		LinkCapacity: topo.Gbps(10), PropDelay: sim.Microsecond,
+	})
+	rng := mrand.New(mrand.NewSource(1))
+	pairsFor := func() []placement.Pair {
+		n := 1 + rng.Intn(3)
+		pairs := make([]placement.Pair, 0, n)
+		for len(pairs) < n {
+			s := cl.Hosts[rng.Intn(len(cl.Hosts))]
+			d := cl.Hosts[rng.Intn(len(cl.Hosts))]
+			if s != d {
+				pairs = append(pairs, placement.Pair{Src: s, Dst: d})
+			}
+		}
+		return pairs
+	}
+	const standing = 200
+	l := placement.NewLedger(cl.Graph, 0)
+	for id := int32(1); id <= standing; id++ {
+		if err := l.Commit(id, 1e9, pairsFor()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	churnPairs := pairsFor()
+
+	var incr, full time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := l.Commit(standing+1, 1e9, churnPairs); err != nil {
+			b.Fatal(err)
+		}
+		l.Release(standing + 1)
+		incr += time.Since(t0)
+		t1 := time.Now()
+		if err := l.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		full += time.Since(t1)
+	}
+	nsIncr := float64(incr.Nanoseconds()) / float64(b.N)
+	nsFull := float64(full.Nanoseconds()) / float64(b.N)
+	speedup := nsFull / nsIncr
+	b.ReportMetric(nsIncr, "incremental_ns/op")
+	b.ReportMetric(nsFull, "recompute_ns/op")
+	b.ReportMetric(speedup, "speedup_x")
+	out := fmt.Sprintf(`{"benchmark":"admission_ledger","topology":"clos-32-host","standing_tenants":%d,"iterations":%d,"incremental_ns_per_op":%.0f,"recompute_ns_per_op":%.0f,"speedup_x":%.1f}`+"\n",
+		standing, b.N, nsIncr, nsFull, speedup)
+	if err := os.WriteFile("BENCH_placement.json", []byte(out), 0o644); err != nil {
+		b.Fatalf("write BENCH_placement.json: %v", err)
 	}
 }

@@ -74,11 +74,14 @@ type Config struct {
 	MaxContextEvents int
 
 	// Per-check switches. vfabric disables the queue bound for μFAB′
-	// fabrics (DisableTwoStage removes the burst bound by design).
+	// fabrics (DisableTwoStage removes the burst bound by design). The
+	// ledger bound only runs on links whose samples carry a committed
+	// subscription (HasLedger), i.e. when an admission ledger is wired in.
 	DisableMinBW            bool
 	DisableWorkConservation bool
 	DisableQueueBound       bool
 	DisableAccounting       bool
+	DisableLedgerBound      bool
 }
 
 func (c *Config) setDefaults() {
@@ -148,6 +151,12 @@ type LinkSample struct {
 	// LivePhiActive counts active paths only (the lower reference).
 	LivePhiCand   float64
 	LivePhiActive float64
+	// CommittedTokens is the admission ledger's committed subscription on
+	// this link, in Φ tokens; valid only when HasLedger is set. Realized
+	// Φ_l must never persistently exceed it once every tenant routes
+	// through the admission controller.
+	CommittedTokens float64
+	HasLedger       bool
 	// Faulty marks links currently failed, endpoint-failed or degraded —
 	// the invariants don't apply to a dead link.
 	Faulty bool
@@ -248,6 +257,7 @@ type linkState struct {
 	acctNeg   streak
 	acctOver  streak
 	acctUnder streak
+	ledger    streak
 }
 
 type vfAccum struct {
@@ -518,6 +528,16 @@ func (a *Auditor) Tick(s *Sample) {
 		} else {
 			a.closeLinkStreak(ls, &ls.queue, QueueBoundViolation, "bytes", cfg.HoldTicks, 0)
 		}
+		// (5) Ledger bound: realized Φ_l never exceeds the admission
+		// ledger's committed subscription. Departed tenants' registers
+		// drain lazily (finish probes + core cleanup), so the same
+		// AcctHoldPS staleness bound applies before a drift becomes a
+		// finding.
+		if lBound := l.CommittedTokens*(1+cfg.AcctTolerance) + cfg.AcctAbsTokens; !cfg.DisableLedgerBound && l.HasLedger && l.PhiTokens > lBound {
+			ls.ledger.hit(t, l.PhiTokens, lBound, false)
+		} else {
+			a.closeLinkStreak(ls, &ls.ledger, LedgerBoundViolation, "tokens", cfg.HoldTicks, cfg.AcctHoldPS)
+		}
 		if cfg.DisableAccounting {
 			continue
 		}
@@ -565,6 +585,7 @@ func (a *Auditor) closeLink(ls *linkState) {
 	a.closeLinkStreak(ls, &ls.acctNeg, AccountingViolation, "tokens", 1, 0)
 	a.closeLinkStreak(ls, &ls.acctOver, AccountingViolation, "tokens", cfg.HoldTicks, cfg.AcctHoldPS)
 	a.closeLinkStreak(ls, &ls.acctUnder, AccountingViolation, "tokens", cfg.HoldTicks, cfg.AcctHoldPS)
+	a.closeLinkStreak(ls, &ls.ledger, LedgerBoundViolation, "tokens", cfg.HoldTicks, cfg.AcctHoldPS)
 }
 
 func (a *Auditor) closeLinkStreak(ls *linkState, st *streak, kind Kind, unit string, minTicks int, minDur int64) {

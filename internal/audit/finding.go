@@ -25,6 +25,10 @@ const (
 	// AccountingViolation: a μFAB-C register (Φ_l/W_l) went negative or
 	// persistently disagreed with the live VM-pair set.
 	AccountingViolation
+	// LedgerBoundViolation: a link's realized Φ_l subscription persistently
+	// exceeded the admission ledger's committed subscription — tenants the
+	// control plane never admitted are consuming guarantee on the link.
+	LedgerBoundViolation
 )
 
 var kindNames = [...]string{
@@ -32,6 +36,7 @@ var kindNames = [...]string{
 	WorkConservationViolation: "work_conservation",
 	QueueBoundViolation:       "queue_bound",
 	AccountingViolation:       "accounting",
+	LedgerBoundViolation:      "ledger_bound",
 }
 
 func (k Kind) String() string {

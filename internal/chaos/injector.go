@@ -53,13 +53,37 @@ func (r Record) String() string {
 	return s
 }
 
+// Admission is the optional control-plane gate on tenant churn events
+// (implemented by placement.Controller). When an Injector carries one,
+// TenantArrive events must pass the admission check before the target
+// materializes them — the checked-admit mode; without one the injector
+// force-admits, preserving pre-control-plane behavior exactly.
+type Admission interface {
+	// AdmitSpec checks ledger headroom for the spec's pairs and commits
+	// the subscription on accept. Returns false on reject.
+	AdmitSpec(spec TenantSpec) bool
+	// ReleaseTenant releases a prior commitment (tenant departed, or its
+	// materialization failed after admission).
+	ReleaseTenant(vf int32) bool
+}
+
 // Injector owns a scheduled scenario and its injection log.
 type Injector struct {
 	target   Target
 	eng      *sim.Engine
 	scenario *Scenario
+	adm      Admission
 	// Log records every applied (or rejected) event in firing order.
 	Log []Record
+}
+
+// WithAdmission routes this injector's tenant churn through the admission
+// gate: arrivals commit ledger headroom before materializing (and reject
+// when there is none), departures release it. Call before the first event
+// fires. Returns the injector for chaining.
+func (inj *Injector) WithAdmission(adm Admission) *Injector {
+	inj.adm = adm
+	return inj
 }
 
 // Inject schedules every event of s on t's engine, offset from the
@@ -80,6 +104,7 @@ func Inject(t Target, s *Scenario) *Injector {
 func (inj *Injector) apply(ev Event) {
 	net := inj.target.Network()
 	ok := false
+	note := ev.Note
 	switch ev.Kind {
 	case NodeCrash:
 		ok = net.FailNode(ev.Node)
@@ -100,13 +125,28 @@ func (inj *Injector) apply(ev Event) {
 		ok = inj.target.RestartCoreAgent(ev.Node)
 	case TenantArrive:
 		if ev.Tenant != nil {
-			ok = inj.target.AddTenant(*ev.Tenant)
+			switch {
+			case inj.adm == nil:
+				ok = inj.target.AddTenant(*ev.Tenant)
+			case !inj.adm.AdmitSpec(*ev.Tenant):
+				note = joinNote(ev.Note, "admission-reject")
+			default:
+				ok = inj.target.AddTenant(*ev.Tenant)
+				if !ok {
+					// Admitted but unmaterializable (e.g. duplicate VF id):
+					// hand the committed headroom back.
+					inj.adm.ReleaseTenant(ev.Tenant.VF)
+				}
+			}
 		}
 	case TenantDepart:
 		ok = inj.target.RemoveTenant(ev.VF)
+		if ok && inj.adm != nil {
+			inj.adm.ReleaseTenant(ev.VF)
+		}
 	}
 	inj.Log = append(inj.Log, Record{
-		At: inj.eng.Now(), Kind: ev.Kind, Detail: ev.detail(), Note: ev.Note, OK: ok,
+		At: inj.eng.Now(), Kind: ev.Kind, Detail: ev.detail(), Note: note, OK: ok,
 	})
 	if rec := net.FlightRecorder(); rec != nil {
 		applied := int64(0)
@@ -116,6 +156,14 @@ func (inj *Injector) apply(ev Event) {
 		rec.Record(telemetry.Event{T: int64(inj.eng.Now()), Kind: telemetry.EvFault,
 			Entity: "chaos.injector", A: applied, Note: ev.Kind.String()})
 	}
+}
+
+// joinNote appends a marker to an event's user note.
+func joinNote(base, marker string) string {
+	if base == "" {
+		return marker
+	}
+	return base + "; " + marker
 }
 
 // eachLink applies f to the event's link, and to its reverse direction

@@ -55,9 +55,10 @@ func TestAuditAllExperimentsClean(t *testing.T) {
 
 // auditIDs keeps the audited determinism gate cheap while spanning a
 // baseline comparison (fig4), a multi-fabric run with a chaos crash
-// (fig15), and a fault-suite flap whose excuse windows must land
-// identically (flap).
-var auditIDs = []string{"fig4", "fig15", "flap"}
+// (fig15), a fault-suite flap whose excuse windows must land identically
+// (flap), and the admission-checked churn whose ledger_bound invariant
+// tracks the control plane's commitments (placechurn).
+var auditIDs = []string{"fig4", "fig15", "flap", "placechurn"}
 
 // TestAuditParallelDeterminism extends the `-jobs`-proof gate to the
 // audited path: with the auditor attached, both the rendered report and

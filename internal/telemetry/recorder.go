@@ -43,6 +43,10 @@ const (
 	// EvTenant: a tenant arrived or departed (A = VF id, Note =
 	// "arrive"/"depart").
 	EvTenant
+	// EvPlacement: the admission controller decided a tenant request (A =
+	// request/VF id, B = VM count, V = guarantee bits/s, Note =
+	// "admit"/"reject"/"place"/"release").
+	EvPlacement
 )
 
 var eventKindNames = [...]string{
@@ -56,6 +60,7 @@ var eventKindNames = [...]string{
 	EvDrop:      "drop",
 	EvFault:     "fault",
 	EvTenant:    "tenant",
+	EvPlacement: "placement",
 }
 
 func (k EventKind) String() string {

@@ -82,12 +82,28 @@ type Path []LinkID
 type Graph struct {
 	Nodes []Node
 	Links []Link
+
+	// pathCache memoizes Paths results per (src, dst, maxPaths). It is
+	// dropped whenever the graph mutates (AddNode / AddDuplexLink). The
+	// cached inner Path slices are shared between calls and must be
+	// treated as read-only by callers.
+	pathCache map[pathKey][]Path
 }
+
+type pathKey struct {
+	src, dst NodeID
+	max      int
+}
+
+// invalidatePaths drops all memoized path enumerations; called on every
+// graph mutation.
+func (g *Graph) invalidatePaths() { g.pathCache = nil }
 
 // AddNode appends a node and returns its ID.
 func (g *Graph) AddNode(kind NodeKind, tier Tier, name string) NodeID {
 	id := NodeID(len(g.Nodes))
 	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Tier: tier, Name: name})
+	g.invalidatePaths()
 	return id
 }
 
@@ -112,6 +128,7 @@ func (g *Graph) AddDuplexLink(a, b NodeID, capacity float64, prop sim.Duration) 
 	)
 	g.Nodes[a].Out = append(g.Nodes[a].Out, ab)
 	g.Nodes[b].Out = append(g.Nodes[b].Out, ba)
+	g.invalidatePaths()
 	return ab, ba
 }
 
@@ -188,10 +205,38 @@ func (g *Graph) Validate() error {
 // dst, in a deterministic order. All returned paths have equal length, so
 // in Clos fabrics they are exactly the ECMP-equivalent paths. maxPaths ≤ 0
 // means no limit.
+//
+// Results are memoized per (src, dst, maxPaths) until the graph mutates.
+// The outer slice is freshly allocated on every call (callers reorder it),
+// but the Path values themselves are shared and must not be modified.
 func (g *Graph) Paths(src, dst NodeID, maxPaths int) []Path {
 	if src == dst {
 		return nil
 	}
+	key := pathKey{src: src, dst: dst, max: maxPaths}
+	if cached, ok := g.pathCache[key]; ok {
+		if cached == nil {
+			return nil
+		}
+		out := make([]Path, len(cached))
+		copy(out, cached)
+		return out
+	}
+	paths := g.enumeratePaths(src, dst, maxPaths)
+	if g.pathCache == nil {
+		g.pathCache = make(map[pathKey][]Path)
+	}
+	g.pathCache[key] = paths
+	if paths == nil {
+		return nil
+	}
+	out := make([]Path, len(paths))
+	copy(out, paths)
+	return out
+}
+
+// enumeratePaths is the uncached path enumeration behind Paths.
+func (g *Graph) enumeratePaths(src, dst NodeID, maxPaths int) []Path {
 	// BFS from src computing hop distance.
 	const inf = int32(1) << 30
 	dist := make([]int32, len(g.Nodes))

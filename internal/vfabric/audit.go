@@ -144,6 +144,10 @@ func (f *Fabric) auditTick() {
 			ls.PhiTokens = phi
 			ls.WindowBytes = w
 		}
+		if f.Cfg.Ledger != nil {
+			ls.CommittedTokens = f.Cfg.Ledger.CommittedBps(lid) / f.Cfg.Edge.BU
+			ls.HasLedger = true
+		}
 	}
 
 	for len(au.routes) < len(f.Flows) {

@@ -47,19 +47,12 @@ func (f *Fabric) validHost(id topo.NodeID) bool {
 }
 
 // AddTenant implements chaos.Target: it creates a VF and its VM-pairs
-// mid-run. The whole spec is validated before anything mutates, so a
-// rejected arrival leaves the fabric untouched.
+// mid-run. The whole spec is validated (through the same shared helpers
+// AddVF/AddFlow panic with) before anything mutates, so a rejected
+// arrival leaves the fabric untouched.
 func (f *Fabric) AddTenant(spec chaos.TenantSpec) bool {
-	if spec.GuaranteeBps <= 0 || f.VFs[spec.VF] != nil {
+	if f.ValidateTenantSpec(spec) != nil {
 		return false
-	}
-	for _, pr := range spec.Pairs {
-		if !f.validHost(pr.Src) || !f.validHost(pr.Dst) || pr.Src == pr.Dst {
-			return false
-		}
-		if len(f.Graph.Paths(pr.Src, pr.Dst, 1)) == 0 {
-			return false
-		}
 	}
 	vf := f.AddVF(spec.VF, spec.GuaranteeBps, spec.WeightClass)
 	for _, pr := range spec.Pairs {

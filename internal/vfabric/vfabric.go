@@ -58,6 +58,23 @@ type Config struct {
 	// back via AuditLog). Requires Telemetry; enable the registry's flight
 	// recorder so chaos faults open excused windows.
 	Audit *audit.Config
+	// Ledger, if non-nil, exposes the admission control plane's committed
+	// per-link subscription to the auditor: every audit tick compares the
+	// realized Φ_l register against the ledger's commitment (the
+	// ledger_bound invariant). Only meaningful when every tenant routes
+	// through the admission controller — force-admitted tenants consume
+	// guarantee the ledger never committed.
+	Ledger SubscriptionLedger
+}
+
+// SubscriptionLedger is the read side of the admission control plane's
+// per-link Σ-guarantee accounting (internal/placement.Ledger implements
+// it). vfabric depends only on this interface, keeping the packages
+// cycle-free.
+type SubscriptionLedger interface {
+	// CommittedBps returns the admitted Σ-guarantee currently committed on
+	// the link, in bits per second.
+	CommittedBps(topo.LinkID) float64
 }
 
 // VF is a tenant virtual fabric with a hose-model guarantee.
@@ -194,9 +211,12 @@ func (f *Fabric) bounceFailure(pkt *dataplane.Packet, at, failed topo.NodeID) {
 func (f *Fabric) Edge(host topo.NodeID) *ufabe.Agent { return f.Edges[host] }
 
 // AddVF registers a tenant VF with the given hose guarantee on every edge.
+// It panics on a malformed registration (duplicate id, non-positive
+// guarantee, weight class outside the WFQ range) — the same rules the
+// mid-run AddTenant path rejects with false.
 func (f *Fabric) AddVF(id int32, guaranteeBps float64, weightClass int) *VF {
-	if _, ok := f.VFs[id]; ok {
-		panic(fmt.Sprintf("vfabric: VF %d already exists", id))
+	if err := f.validateVF(id, guaranteeBps, weightClass); err != nil {
+		panic(err.Error())
 	}
 	tokens := guaranteeBps / f.Cfg.Edge.BU
 	for _, e := range f.Edges {
@@ -219,8 +239,12 @@ func (f *Fabric) AddFlow(vf *VF, src, dst topo.NodeID, phi float64) *Flow {
 }
 
 // AddFlowDemand is AddFlow with a caller-supplied demand source (e.g. a
-// workload.Messages tracker for FCT measurement).
+// workload.Messages tracker for FCT measurement). It panics on invalid
+// endpoints — the same checks AddTenant's pair validation applies.
 func (f *Fabric) AddFlowDemand(vf *VF, src, dst topo.NodeID, phi float64, demand ufabe.Demand) *Flow {
+	if err := f.validatePair(src, dst); err != nil {
+		panic(err.Error())
+	}
 	routes := f.sampleRoutes(src, dst, f.Cfg.CandidatePaths)
 	if len(routes) == 0 {
 		panic(fmt.Sprintf("vfabric: no path %d→%d", src, dst))
