@@ -4,9 +4,9 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place
+.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place fuzz
 
-ci: build vet fmt-check test race bench check audit
+ci: build vet fmt-check test race bench check audit fuzz
 	@echo "CI gate passed"
 
 build:
@@ -22,7 +22,7 @@ fmt-check:
 	fi
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/telemetry
@@ -45,6 +45,7 @@ audit:
 	$(GO) run ./cmd/ufabsim -quick -findings findings.jsonl audit all
 	$(GO) run ./cmd/ufabsim check -audit
 	$(GO) test -run '^$$' -bench BenchmarkAuditOverhead -benchtime 1x .
+	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 100x .
 
 golden:
 	$(GO) run ./cmd/ufabsim check -update
@@ -59,6 +60,15 @@ chaos:
 place:
 	$(GO) run ./cmd/ufabsim run placecmp placechurn placesweep
 	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 100x .
+
+# The scenario-fuzzer smoke gate, exactly as the CI fuzz-smoke job runs
+# it: package tests (oracle, shrinker, regression corpus), then a
+# fixed-seed sweep that also replays the committed corpus. For a long
+# randomized hunt use the nightly knobs, e.g.:
+#   go run ./cmd/ufabsim fuzz -seeds 1000 -seed0 $$RANDOM -budget 20m -shrink -out fuzz-failures
+fuzz:
+	$(GO) test ./internal/fuzz
+	$(GO) run ./cmd/ufabsim fuzz -seeds 50 -corpus internal/fuzz/testdata/regressions
 
 # Flight-recorder sample: the chaoslab run's event stream as JSONL.
 trace:

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ufab/internal/fuzz"
+)
+
+// fuzzCmd is the scenario-fuzzer front end: replay one case, replay the
+// committed regression corpus, and/or draw fresh seeded cases — every
+// failure optionally shrunk to a minimal reproducer and written out for
+// triage or corpus promotion.
+func fuzzCmd(args []string) {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seeds := fs.Int("seeds", 50, "number of generated cases (0 = none, corpus/replay only)")
+	seed0 := fs.Int64("seed0", 1, "first generator seed; cases use seeds seed0..seed0+seeds-1")
+	budget := fs.Duration("budget", 0, "wall-clock budget; stop drawing new seeds once exceeded (0 = none)")
+	shrink := fs.Bool("shrink", false, "minimize each failing case to a reproducer before reporting")
+	out := fs.String("out", "", "directory for failing cases (case-<seed>.json) and shrunk reproducers (case-<seed>.min.json)")
+	corpus := fs.String("corpus", "", "replay every *.json case in this directory first (the regression corpus)")
+	replay := fs.String("replay", "", "replay a single case file and exit")
+	noReplayCheck := fs.Bool("no-replay-check", false, "skip the double-run determinism check (halves the cost)")
+	verbose := fs.Bool("v", false, "print a line per case, not only failures")
+	fs.Parse(args)
+
+	x := &fuzz.Executor{Replay: !*noReplayCheck}
+	t0 := time.Now()
+
+	if *replay != "" {
+		c, err := fuzz.LoadFile(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r, err := x.Run(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s\n", *replay, describe(r))
+		if r.Verdict.Failed() {
+			fmt.Print(r.FindingsJSONL)
+			os.Exit(1)
+		}
+		return
+	}
+
+	failures := 0
+	counts := map[fuzz.Verdict]int{}
+	total := 0
+
+	runCase := func(label string, c *fuzz.Case, seed int64, generated bool) {
+		r, err := x.Run(c)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", label, err)
+			return
+		}
+		total++
+		counts[r.Verdict]++
+		if !r.Verdict.Failed() {
+			if *verbose {
+				fmt.Printf("ok   %s: %s\n", label, describe(r))
+			}
+			return
+		}
+		failures++
+		fmt.Printf("FAIL %s: %s\n", label, describe(r))
+		if r.Panic != "" {
+			fmt.Print(r.Panic)
+		}
+		fmt.Print(r.FindingsJSONL)
+		if !generated {
+			return
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, fmt.Sprintf("case-%d.json", seed))
+			if err := c.WriteFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("     failing case written to %s\n", path)
+		}
+		if *shrink {
+			sh := &fuzz.Shrinker{X: x}
+			min, mr, st := sh.Shrink(c)
+			fmt.Printf("     shrunk in %d runs (%d reductions): %s\n", st.Runs, st.Reductions, describe(mr))
+			if *out != "" {
+				path := filepath.Join(*out, fmt.Sprintf("case-%d.min.json", seed))
+				if err := min.WriteFile(path); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("     reproducer written to %s (promote it into internal/fuzz/testdata/regressions/ with a fix)\n", path)
+			}
+		}
+	}
+
+	if *corpus != "" {
+		files, err := filepath.Glob(filepath.Join(*corpus, "*.json"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			fmt.Fprintf(os.Stderr, "fuzz: no cases in corpus %s\n", *corpus)
+			os.Exit(1)
+		}
+		for _, path := range files {
+			c, err := fuzz.LoadFile(path)
+			if err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", path, err)
+				continue
+			}
+			runCase(path, c, 0, false)
+		}
+	}
+
+	drawn := 0
+	for i := 0; i < *seeds; i++ {
+		if *budget > 0 && time.Since(t0) > *budget {
+			fmt.Printf("fuzz: budget %v exhausted after %d/%d seeds\n", *budget, drawn, *seeds)
+			break
+		}
+		seed := *seed0 + int64(i)
+		drawn++
+		runCase(fmt.Sprintf("seed %d", seed), fuzz.Generate(seed), seed, true)
+	}
+
+	fmt.Printf("fuzz: %d cases (%d clean, %d excused, %d findings, %d panics, %d mismatches) in %.1fs\n",
+		total, counts[fuzz.VerdictClean], counts[fuzz.VerdictExcused], counts[fuzz.VerdictFinding],
+		counts[fuzz.VerdictPanic], counts[fuzz.VerdictMismatch], time.Since(t0).Seconds())
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "fuzz: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+// describe renders a result on one line.
+func describe(r *fuzz.Result) string {
+	s := fmt.Sprintf("%s (%d excused / %d unexcused, %d admitted / %d rejected)",
+		r.Verdict, r.Excused, r.Unexcused, r.Admitted, r.Rejected)
+	if len(r.Kinds) > 0 {
+		s += fmt.Sprintf(" kinds=%v", r.Kinds)
+	}
+	if r.Mismatch != "" {
+		s += " " + r.Mismatch
+	}
+	return s
+}

@@ -18,6 +18,10 @@
 //	ufabsim -audit run fig15     # attach the predictability auditor
 //	ufabsim audit all            # audited replay; fail on unexcused findings
 //	ufabsim -findings f.jsonl audit all  # export findings as JSONL
+//	ufabsim fuzz -seeds 50       # scenario fuzzing with the auditor as oracle
+//	ufabsim fuzz -seeds 200 -shrink -out failures  # minimize + save failures
+//	ufabsim fuzz -seeds 0 -corpus internal/fuzz/testdata/regressions  # corpus replay
+//	ufabsim fuzz -replay case.json  # re-run one saved case
 //	ufabsim check                # replay evaluation vs golden_metrics.json
 //	ufabsim check -update        # re-record the golden baseline
 //	ufabsim check -telemetry     # replay with instrumentation attached
@@ -109,6 +113,8 @@ func main() {
 		auditCmd(runner, opts, *repeat, args[1:])
 	case "check":
 		check(runner, args[1:], opts.Telemetry, opts.Audit)
+	case "fuzz":
+		fuzzCmd(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -459,6 +465,7 @@ usage:
   ufabsim [flags] trace [-strict] <id>
   ufabsim [flags] audit all | <id>...
   ufabsim [flags] check [-golden file] [-update] [-tol t] [-telemetry] [-audit]
+  ufabsim fuzz [-seeds n] [-seed0 s] [-budget d] [-shrink] [-out dir] [-corpus dir] [-replay file]
 
 flags:
 `)

@@ -482,6 +482,9 @@ func (a *Auditor) Tick(s *Sample) {
 		p := &s.Pairs[i]
 		st := a.pairs[p.VM]
 		violated := false
+		// A pair that just migrated re-enters the Scenario-2 ramp, so
+		// its rate legitimately dips below spare capacity; grant it the
+		// warmup again before holding it to work conservation.
 		if !cfg.DisableWorkConservation && st.covered &&
 			(st.migrAt == 0 || t-st.migrAt >= cfg.WarmupPS) {
 			spare, minTarget, usable := maxFloat, maxFloat, len(p.Links) > 0

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"ufab/internal/telemetry"
@@ -148,6 +149,23 @@ func (l *Log) Excused() int {
 		}
 	}
 	return n
+}
+
+// UnexcusedKinds returns the distinct kinds of unexcused findings as
+// their stable names, sorted — the compact violation signature fuzzing
+// and shrinking classify runs by.
+func (l *Log) UnexcusedKinds() []string {
+	seen := map[string]bool{}
+	var kinds []string
+	for _, f := range l.Findings() {
+		if f.Excused || seen[f.Kind.String()] {
+			continue
+		}
+		seen[f.Kind.String()] = true
+		kinds = append(kinds, f.Kind.String())
+	}
+	sort.Strings(kinds)
+	return kinds
 }
 
 // WriteJSONL writes the findings one JSON object per line, oldest first.

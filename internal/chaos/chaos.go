@@ -244,6 +244,32 @@ func (s *Scenario) DepartTenant(at sim.Duration, vf int32) *Scenario {
 	return s.add(Event{At: at, Kind: TenantDepart, VF: vf})
 }
 
+// Clone returns a deep copy of the scenario: the event list, each
+// event's degradation and tenant spec (with its pair list) are all
+// duplicated, so a shrinker can mutate the copy without disturbing the
+// original.
+func (s *Scenario) Clone() *Scenario {
+	if s == nil {
+		return nil
+	}
+	cp := &Scenario{Name: s.Name, ExpectExcusedMin: s.ExpectExcusedMin}
+	cp.Events = make([]Event, len(s.Events))
+	copy(cp.Events, s.Events)
+	for i := range cp.Events {
+		ev := &cp.Events[i]
+		if ev.Degradation != nil {
+			d := *ev.Degradation
+			ev.Degradation = &d
+		}
+		if ev.Tenant != nil {
+			t := *ev.Tenant
+			t.Pairs = append([]PairSpec(nil), ev.Tenant.Pairs...)
+			ev.Tenant = &t
+		}
+	}
+	return cp
+}
+
 // Encode renders the scenario as indented JSON.
 func (s *Scenario) Encode() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")

@@ -1,0 +1,193 @@
+package fuzz
+
+import "ufab/internal/sim"
+
+// Shrinker deterministically minimizes a failing case while preserving
+// its failure signature (the verdict, and for findings the first
+// unexcused kind). Passes run to a fixpoint — drop the chaos scenario or
+// single events, drop the churn process or halve its arrivals, drop
+// tenants, drop pairs, halve the horizon — so shrinking a shrunk case is
+// a no-op: every pass re-tries the same reductions and they fail the
+// same way.
+type Shrinker struct {
+	// X executes candidates; it must be the same executor (same Sabotage
+	// hook) that produced the original failure.
+	X *Executor
+	// MaxRuns bounds executor invocations (default 300). The bound only
+	// bites on pathological cases; hitting it leaves a larger—but still
+	// failing—reproducer.
+	MaxRuns int
+}
+
+// ShrinkStats counts the shrink's work.
+type ShrinkStats struct {
+	// Runs is how many executor invocations the shrink spent.
+	Runs int
+	// Reductions is how many candidate reductions were kept.
+	Reductions int
+}
+
+// signature is what every accepted reduction must preserve.
+type signature struct {
+	verdict Verdict
+	kind    string // first unexcused kind for VerdictFinding, else ""
+}
+
+func signatureOf(r *Result) signature {
+	sig := signature{verdict: r.Verdict}
+	if r.Verdict == VerdictFinding && len(r.Kinds) > 0 {
+		sig.kind = r.Kinds[0]
+	}
+	return sig
+}
+
+func (sig signature) matches(r *Result) bool {
+	if r.Verdict != sig.verdict {
+		return false
+	}
+	if sig.kind == "" {
+		return true
+	}
+	for _, k := range r.Kinds {
+		if k == sig.kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Shrink minimizes c. It returns the minimal case, that case's result,
+// and the work stats. When c does not fail at all, c and its result come
+// back unchanged.
+func (s *Shrinker) Shrink(c *Case) (*Case, *Result, ShrinkStats) {
+	st := ShrinkStats{}
+	maxRuns := s.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 300
+	}
+	base, err := s.X.Run(c)
+	st.Runs++
+	if err != nil || !base.Verdict.Failed() {
+		return c, base, st
+	}
+	sig := signatureOf(base)
+	cur := c.clone()
+
+	// try replaces cur when the candidate still fails with the same
+	// signature.
+	try := func(cand *Case) bool {
+		if st.Runs >= maxRuns {
+			return false
+		}
+		r, err := s.X.Run(cand)
+		st.Runs++
+		if err != nil || !sig.matches(r) {
+			return false
+		}
+		cur, base = cand, r
+		st.Reductions++
+		return true
+	}
+
+	// Every pass reads the live cur, so an accepted reduction feeds the
+	// next attempt. Drops iterate indices from the end: lower indices
+	// stay valid as elements vanish.
+	dropChaos := func() bool {
+		if cur.Chaos == nil {
+			return false
+		}
+		cand := cur.clone()
+		cand.Chaos = nil
+		if try(cand) {
+			return true
+		}
+		progress := false
+		for i := len(cur.Chaos.Events) - 1; i >= 0; i-- {
+			cand := cur.clone()
+			cand.Chaos.Events = append(cand.Chaos.Events[:i], cand.Chaos.Events[i+1:]...)
+			if len(cand.Chaos.Events) == 0 {
+				cand.Chaos = nil
+			}
+			progress = try(cand) || progress
+			if cur.Chaos == nil {
+				break
+			}
+		}
+		return progress
+	}
+
+	dropChurn := func() bool {
+		if cur.Churn == nil {
+			return false
+		}
+		cand := cur.clone()
+		cand.Churn = nil
+		if try(cand) {
+			return true
+		}
+		progress := false
+		for cur.Churn != nil && cur.Churn.Arrivals > 1 {
+			cand := cur.clone()
+			cand.Churn.Arrivals /= 2
+			if !try(cand) {
+				break
+			}
+			progress = true
+		}
+		return progress
+	}
+
+	dropTenants := func() bool {
+		progress := false
+		for i := len(cur.Tenants) - 1; i >= 0; i-- {
+			if len(cur.Tenants) <= 1 || i >= len(cur.Tenants) {
+				continue
+			}
+			cand := cur.clone()
+			cand.Tenants = append(cand.Tenants[:i], cand.Tenants[i+1:]...)
+			progress = try(cand) || progress
+		}
+		return progress
+	}
+
+	dropPairs := func() bool {
+		progress := false
+		for ti := 0; ti < len(cur.Tenants); ti++ {
+			for pi := len(cur.Tenants[ti].Pairs) - 1; pi >= 1; pi-- {
+				if pi >= len(cur.Tenants[ti].Pairs) {
+					continue
+				}
+				cand := cur.clone()
+				t := &cand.Tenants[ti]
+				t.Pairs = append(t.Pairs[:pi], t.Pairs[pi+1:]...)
+				progress = try(cand) || progress
+			}
+		}
+		return progress
+	}
+
+	// Horizon floor 2 ms: below that the auditor's warmup exempts
+	// everything and no finding can exist anyway.
+	shortenHorizon := func() bool {
+		progress := false
+		for cur.HorizonPS/2 >= 2*sim.Millisecond {
+			cand := cur.clone()
+			cand.HorizonPS /= 2
+			if !try(cand) {
+				break
+			}
+			progress = true
+		}
+		return progress
+	}
+
+	for progress := true; progress; {
+		progress = false
+		progress = dropChaos() || progress
+		progress = dropChurn() || progress
+		progress = dropTenants() || progress
+		progress = dropPairs() || progress
+		progress = shortenHorizon() || progress
+	}
+	return cur, base, st
+}

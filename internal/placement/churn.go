@@ -8,26 +8,28 @@ import (
 )
 
 // ChurnConfig drives an open-loop tenant arrival/departure process
-// against a Controller.
+// against a Controller. The JSON tags make a churn spec a first-class
+// part of serialized scenarios (the fuzzer's case files embed one).
 type ChurnConfig struct {
 	// Arrivals is the total number of tenant requests to submit.
-	Arrivals int
+	Arrivals int `json:"arrivals"`
 	// MeanInterarrival is the mean of the exponential arrival spacing.
-	MeanInterarrival sim.Duration
+	MeanInterarrival sim.Duration `json:"mean_interarrival_ps"`
 	// MeanHold is the mean tenant lifetime; an admitted tenant departs
 	// (Release) after an exponential hold.
-	MeanHold sim.Duration
+	MeanHold sim.Duration `json:"mean_hold_ps"`
 	// VMsMin/VMsMax bound the uniform VM-count draw (default 2..4).
-	VMsMin, VMsMax int
+	VMsMin int `json:"vms_min,omitempty"`
+	VMsMax int `json:"vms_max,omitempty"`
 	// Guarantees are the per-VM hose choices drawn uniformly (default
 	// {1 Gbps}).
-	Guarantees []float64
+	Guarantees []float64 `json:"guarantees_bps,omitempty"`
 	// BacklogBytes per materialized pair (0 = infinite backlog).
-	BacklogBytes int64
+	BacklogBytes int64 `json:"backlog_bytes,omitempty"`
 	// FirstID numbers the generated tenants starting here (default 1).
-	FirstID int32
+	FirstID int32 `json:"first_id,omitempty"`
 	// Seed drives the arrival process.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // ChurnStats aggregates one churn run.

@@ -116,6 +116,14 @@ func (f *Fabric) auditTick() {
 				}
 			}
 		}
+		// The lower reference counts only pairs actually exercising the
+		// fabric. A non-idle but silent pair — created before its first
+		// message, or drained between messages — sends no probes, so
+		// past the staleness bound the core may legitimately have
+		// cleaned its registration.
+		if fl.Demand == nil || (fl.Demand.Pending() == 0 && p.Inflight() == 0) {
+			continue
+		}
 		for _, lid := range p.ActivePath() {
 			au.act[lid] += phi
 		}
