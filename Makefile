@@ -4,9 +4,9 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place fuzz
+.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place fuzz serve-smoke
 
-ci: build vet fmt-check test race bench check audit fuzz
+ci: build vet fmt-check test race bench check audit fuzz serve-smoke
 	@echo "CI gate passed"
 
 build:
@@ -27,6 +27,7 @@ test:
 race:
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race ./internal/placement
+	$(GO) test -race ./internal/ctlplane
 	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism|TestAuditParallelDeterminism'
 
 bench:
@@ -60,6 +61,15 @@ chaos:
 place:
 	$(GO) run ./cmd/ufabsim run placecmp placechurn placesweep
 	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 100x .
+
+# The control-plane service smoke gate, exactly as the CI ctlplane job
+# runs it: start the daemon with a persistent store and background churn,
+# drive admit/evaluate/release/findings over HTTP, SIGKILL it mid-churn,
+# restart from the store and assert recovery. The sharded-ledger
+# throughput trajectory lands in BENCH_ctlplane.json.
+serve-smoke:
+	./scripts/serve_smoke.sh
+	$(GO) test -run '^$$' -bench BenchmarkCtlplaneAdmission -benchtime 100000x .
 
 # The scenario-fuzzer smoke gate, exactly as the CI fuzz-smoke job runs
 # it: package tests (oracle, shrinker, regression corpus), then a

@@ -13,9 +13,12 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"os"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"ufab/internal/ctlplane"
 	"ufab/internal/experiments"
 	"ufab/internal/placement"
 	"ufab/internal/sim"
@@ -137,6 +140,76 @@ func BenchmarkAuditOverhead(b *testing.B) {
 		b.N, nsTelem, nsAudited, overheadPct)
 	if err := os.WriteFile("BENCH_audit.json", []byte(out), 0o644); err != nil {
 		b.Fatalf("write BENCH_audit.json: %v", err)
+	}
+}
+
+// BenchmarkCtlplaneAdmission pins the sharded ledger's throughput claim:
+// open-loop admission churn (two-phase commit across range-partitioned
+// link shards, each goroutine holding a ring of standing tenants) must
+// sustain >= 1e5 decisions/sec. After the drain the ledger must verify
+// with zero residue — the benchmark fails otherwise. The result is also
+// emitted as BENCH_ctlplane.json so CI can track the trajectory across
+// commits.
+func BenchmarkCtlplaneAdmission(b *testing.B) {
+	cl := topo.NewClos(topo.ClosConfig{
+		Pods: 4, ToRsPerPod: 2, AggsPerPod: 2, Cores: 4, HostsPerToR: 4,
+		LinkCapacity: topo.Gbps(10), PropDelay: sim.Microsecond,
+	})
+	sh := ctlplane.NewShardedLedger(cl.Graph, 4, 0, 1.0)
+	// Pre-generated host pairs: the benchmark times the ledger, not the
+	// RNG. Guarantees are small so headroom rejections stay rare.
+	rng := mrand.New(mrand.NewSource(1))
+	pairSets := make([][]placement.Pair, 1024)
+	for i := range pairSets {
+		for {
+			s := cl.Hosts[rng.Intn(len(cl.Hosts))]
+			d := cl.Hosts[rng.Intn(len(cl.Hosts))]
+			if s != d {
+				pairSets[i] = []placement.Pair{{Src: s, Dst: d}}
+				break
+			}
+		}
+	}
+	var next int32
+	var decisions int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var held []int32
+		for pb.Next() {
+			id := atomic.AddInt32(&next, 1)
+			err := sh.Admit(id, 1e8, pairSets[int(id)%len(pairSets)])
+			atomic.AddInt64(&decisions, 1)
+			if err == nil {
+				held = append(held, id)
+			}
+			if len(held) > 64 {
+				sh.Release(held[0])
+				atomic.AddInt64(&decisions, 1)
+				held = held[1:]
+			}
+		}
+		for _, id := range held {
+			sh.Release(id)
+			atomic.AddInt64(&decisions, 1)
+		}
+	})
+	b.StopTimer()
+	verifyOK := true
+	if err := sh.Verify(); err != nil {
+		verifyOK = false
+		b.Errorf("post-drain verify: %v", err)
+	}
+	if n := sh.Tenants(); n != 0 {
+		b.Errorf("%d tenants left after drain", n)
+	}
+	perSec := float64(decisions) / b.Elapsed().Seconds()
+	nsPer := float64(b.Elapsed().Nanoseconds()) / float64(decisions)
+	b.ReportMetric(perSec, "decisions/sec")
+	b.ReportMetric(nsPer, "ns/decision")
+	out := fmt.Sprintf(`{"benchmark":"ctlplane_admission","topology":"clos-32-host","shards":%d,"procs":%d,"decisions":%d,"decisions_per_sec":%.0f,"ns_per_decision":%.1f,"verify_ok":%v}`+"\n",
+		sh.Shards(), runtime.GOMAXPROCS(0), decisions, perSec, nsPer, verifyOK)
+	if err := os.WriteFile("BENCH_ctlplane.json", []byte(out), 0o644); err != nil {
+		b.Fatalf("write BENCH_ctlplane.json: %v", err)
 	}
 }
 

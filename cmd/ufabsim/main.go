@@ -22,6 +22,9 @@
 //	ufabsim fuzz -seeds 200 -shrink -out failures  # minimize + save failures
 //	ufabsim fuzz -seeds 0 -corpus internal/fuzz/testdata/regressions  # corpus replay
 //	ufabsim fuzz -replay case.json  # re-run one saved case
+//	ufabsim serve -store /var/lib/ufab  # always-on control-plane daemon
+//	ufabsim serve -churn -addr :7663    # with an open-loop background workload
+//	ufabsim ctl status           # query a running daemon (see 'ufabsim ctl')
 //	ufabsim check                # replay evaluation vs golden_metrics.json
 //	ufabsim check -update        # re-record the golden baseline
 //	ufabsim check -telemetry     # replay with instrumentation attached
@@ -115,6 +118,10 @@ func main() {
 		check(runner, args[1:], opts.Telemetry, opts.Audit)
 	case "fuzz":
 		fuzzCmd(args[1:])
+	case "serve":
+		serveCmd(args[1:])
+	case "ctl":
+		ctlCmd(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -466,6 +473,8 @@ usage:
   ufabsim [flags] audit all | <id>...
   ufabsim [flags] check [-golden file] [-update] [-tol t] [-telemetry] [-audit]
   ufabsim fuzz [-seeds n] [-seed0 s] [-budget d] [-shrink] [-out dir] [-corpus dir] [-replay file]
+  ufabsim serve [-addr a] [-store dir] [-seed s] [-churn] [-policy p] [-shards n] [-oversub f]
+  ufabsim ctl [-addr a] <verb> [args]   (ufabsim ctl -h for verbs)
 
 flags:
 `)

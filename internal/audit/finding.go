@@ -89,6 +89,8 @@ type Log struct {
 	// is expected to produce; gates use it to assert the auditor actually
 	// observed the injected faults.
 	ExpectExcusedMin int
+
+	subs []func(Finding)
 }
 
 // DefaultMaxFindings bounds a Log when MaxFindings is zero.
@@ -106,7 +108,18 @@ func (l *Log) add(f Finding) {
 		return
 	}
 	l.findings = append(l.findings, f)
+	for _, fn := range l.subs {
+		fn(f)
+	}
 }
+
+// Subscribe registers fn to run synchronously on every finding as it is
+// recorded (after streak merging, before the MaxFindings cap drops
+// anything new). fn runs on the auditor's goroutine and must not block or
+// re-enter the Log; the control-plane daemon uses it to stream findings
+// over its northbound API. Subscribe before the run starts — it is not
+// safe to call concurrently with add.
+func (l *Log) Subscribe(fn func(Finding)) { l.subs = append(l.subs, fn) }
 
 // Findings flushes every attached auditor's open violation streaks and
 // returns all findings in emission order.

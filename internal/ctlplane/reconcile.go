@@ -1,0 +1,153 @@
+package ctlplane
+
+// The watcher/reconciler: each Reconcile pass polls fabric liveness,
+// demotes Placed tenants whose hosts died or are draining (tearing down
+// their realized state), and re-places Pending/Degraded tenants under the
+// retry/backoff budget. The pass is deterministic — tenants are visited
+// in sorted-id order and the only inputs are the fleet, the ledger and
+// the health source — so experiments driving it from simulated time are
+// byte-identical across parallel runs.
+
+import (
+	"ufab/internal/placement"
+	"ufab/internal/sim"
+)
+
+// Reconcile runs one convergence pass at simulated time nowPS and
+// returns how many tenants changed state.
+func (s *Service) Reconcile(nowPS int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reconcileLoops++
+	changed := 0
+
+	// Watch: refresh schedulability from liveness ∨ drain. Polling the
+	// fabric (not the telemetry recorder) keeps the control loop
+	// identical whether or not the flight recorder is attached.
+	for i, h := range s.fleet.Hosts {
+		failed := s.health != nil && s.health.Failed(h)
+		s.fleet.Unschedulable[i] = failed || s.draining[h]
+	}
+
+	ids := s.sortedIDsLocked()
+
+	// Demote: a Placed tenant with any VM on an unschedulable host has
+	// lost its guarantee; tear down what remains so re-placement starts
+	// from a clean slate (no half-materialized state survives).
+	for _, id := range ids {
+		t := s.tenants[id]
+		if t.Status != StatusPlaced || !s.displacedLocked(t) {
+			continue
+		}
+		s.teardownLocked(t)
+		t.Status = StatusDegraded
+		t.Retries = 0
+		t.NotBeforePS = nowPS
+		t.UpdatedPS = nowPS
+		s.displaced++
+		s.persistPutLocked(t)
+		changed++
+	}
+
+	// Converge: re-place what should be running but isn't.
+	for _, id := range ids {
+		t := s.tenants[id]
+		if t.Status != StatusPending && t.Status != StatusDegraded {
+			continue
+		}
+		if nowPS < t.NotBeforePS {
+			continue
+		}
+		if d := s.placeLocked(t, nowPS); d.Accepted {
+			s.replacements++
+			s.persistPutLocked(t)
+			changed++
+			continue
+		}
+		t.Retries++
+		s.retries++
+		if t.Retries > s.cfg.MaxRetries {
+			t.Status = StatusEvicted
+			t.UpdatedPS = nowPS
+			s.evictions++
+		} else {
+			// Exponential backoff: base·2^(retries-1).
+			t.NotBeforePS = nowPS + int64(s.cfg.RetryBackoff)<<uint(t.Retries-1)
+			t.UpdatedPS = nowPS
+		}
+		s.persistPutLocked(t)
+		changed++
+	}
+	s.flushLocked()
+	return changed
+}
+
+// displacedLocked reports whether any of t's hosts is unschedulable.
+func (s *Service) displacedLocked(t *Tenant) bool {
+	for _, h := range t.Hosts {
+		if i := s.fleet.HostIndex(h); i >= 0 && s.fleet.Unschedulable[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// StartReconciler schedules Reconcile every period on the engine and
+// returns the stop function. period ≤ 0 defaults to 500 µs — well inside
+// the auditor's 5 ms fault-excuse window, so a crash-displaced tenant is
+// re-placed before its findings can outlive the excuse.
+func (s *Service) StartReconciler(eng *sim.Engine, period sim.Duration) (stop func()) {
+	if period <= 0 {
+		period = 500 * sim.Microsecond
+	}
+	return eng.Every(period, func() {
+		s.Reconcile(int64(eng.Now()))
+	})
+}
+
+// Recover rebuilds realized state from the store's desired records after
+// a restart: Placed tenants are re-committed to the (fresh) ledger,
+// their fleet slots retaken, and — when a materializer is attached — the
+// fabric re-materialized. A tenant whose recorded placement no longer
+// fits demotes to Degraded for the reconciler to re-place. Returns the
+// ledger's Verify error, if any — the store-vs-ledger consistency check
+// the restart contract requires.
+func (s *Service) Recover(nowPS int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	for _, rec := range s.store.Tenants() {
+		t := rec
+		s.tenants[t.ID] = &t
+	}
+	for _, id := range s.sortedIDsLocked() {
+		t := s.tenants[id]
+		if t.Status != StatusPlaced {
+			continue
+		}
+		hosts := t.Hosts
+		pairs := placement.ChainPairs(hosts)
+		ok := len(hosts) == t.VMs
+		if ok {
+			ok = s.ledger.Admit(t.ID, t.GuaranteeBps, pairs) == nil
+		}
+		if ok && s.mat != nil && !s.mat.AddTenant(s.spec(t, pairs)) {
+			s.ledger.Release(t.ID)
+			ok = false
+		}
+		if !ok {
+			t.Hosts = nil
+			t.Status = StatusDegraded
+			t.Retries = 0
+			t.NotBeforePS = nowPS
+			t.UpdatedPS = nowPS
+			s.persistPutLocked(t)
+			continue
+		}
+		s.fleet.Place(hosts)
+	}
+	s.flushLocked()
+	return s.ledger.Verify()
+}

@@ -1,0 +1,195 @@
+package ctlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"ufab/internal/topo"
+)
+
+// testDaemon spins a daemon (engine loop running, HTTP via httptest) and
+// returns it with its base URL; cleanup stops everything.
+func testDaemon(t *testing.T, cfg DaemonConfig) (*Daemon, string) {
+	t.Helper()
+	cfg.TickEvery = time.Millisecond
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Loop()
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.Stop()
+	})
+	return d, srv.URL
+}
+
+func postJSON(t *testing.T, url string, body, out any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+}
+
+// TestServerEndToEnd drives the full northbound surface over HTTP:
+// admit, duplicate-reject, evaluate, inspect, release, drain, ledger
+// verification.
+func TestServerEndToEnd(t *testing.T) {
+	_, base := testDaemon(t, DaemonConfig{Seed: 1})
+
+	var dec Decision
+	postJSON(t, base+"/v1/admit", admitBody{ID: 1, GuaranteeBps: 2e9, VMs: 2, WeightClass: 5}, &dec)
+	if !dec.Accepted || len(dec.Hosts) != 2 {
+		t.Fatalf("admit: %+v", dec)
+	}
+	// Copy: later decodes into dec would otherwise scribble over the
+	// shared backing array.
+	placedHosts := append([]topo.NodeID(nil), dec.Hosts...)
+	postJSON(t, base+"/v1/admit", admitBody{ID: 1, GuaranteeBps: 1e9, VMs: 1}, &dec)
+	if dec.Accepted || dec.Reason != "duplicate" {
+		t.Fatalf("duplicate admit: %+v", dec)
+	}
+	postJSON(t, base+"/v1/evaluate", admitBody{ID: 2, GuaranteeBps: 1e9, VMs: 3}, &dec)
+	if !dec.Accepted {
+		t.Fatalf("evaluate: %+v", dec)
+	}
+
+	var tenants []Tenant
+	getJSON(t, base+"/v1/tenants", &tenants)
+	if len(tenants) != 1 || tenants[0].Status != StatusPlaced {
+		t.Fatalf("tenants: %+v", tenants)
+	}
+	var one Tenant
+	getJSON(t, fmt.Sprintf("%s/v1/tenants/%d", base, 1), &one)
+	if !reflect.DeepEqual(one, tenants[0]) {
+		t.Fatalf("tenant by id diverged: %+v vs %+v", one, tenants[0])
+	}
+
+	var led ledgerReply
+	getJSON(t, base+"/v1/ledger", &led)
+	if !led.VerifyOK || led.Tenants != 1 {
+		t.Fatalf("ledger: %+v", led)
+	}
+
+	var fl fleetReply
+	getJSON(t, base+"/v1/fleet", &fl)
+	if len(fl.Hosts) != 32 {
+		t.Fatalf("fleet has %d hosts, want 32", len(fl.Hosts))
+	}
+
+	// Drain the tenant's first host; the reconciler (sim time advances in
+	// the background loop) must evacuate it.
+	postJSON(t, base+"/v1/drain", hostBody{Host: placedHosts[0]}, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, fmt.Sprintf("%s/v1/tenants/%d", base, 1), &one)
+		moved := one.Status == StatusPlaced
+		for _, h := range one.Hosts {
+			if h == placedHosts[0] {
+				moved = false
+			}
+		}
+		if moved {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant never evacuated the drained host: %+v", one)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var st statusReply
+	getJSON(t, base+"/v1/status", &st)
+	if st.Stats.Displaced == 0 || st.Stats.Replacements == 0 {
+		t.Fatalf("status counters missed the evacuation: %+v", st.Stats)
+	}
+
+	resp := postJSON(t, base+"/v1/release", idBody{ID: 1}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release: HTTP %d", resp.StatusCode)
+	}
+	getJSON(t, base+"/v1/ledger", &led)
+	if !led.VerifyOK || led.Tenants != 0 {
+		t.Fatalf("ledger after release: %+v", led)
+	}
+}
+
+// TestDaemonRestartRecovery: stop a daemon mid-state and start a fresh
+// one on the same store directory — the desired set, tenant statuses and
+// ledger commitments must all reproduce.
+func TestDaemonRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d1, base1 := testDaemon(t, DaemonConfig{Seed: 1, StoreDir: dir})
+	var dec Decision
+	for id := int32(1); id <= 3; id++ {
+		postJSON(t, base1+"/v1/admit", admitBody{ID: id, GuaranteeBps: 1e9, VMs: 2}, &dec)
+		if !dec.Accepted {
+			t.Fatalf("admit %d: %+v", id, dec)
+		}
+	}
+	postJSON(t, base1+"/v1/release", idBody{ID: 2}, nil)
+	var before []Tenant
+	getJSON(t, base1+"/v1/tenants", &before)
+	d1.Stop()
+
+	_, base2 := testDaemon(t, DaemonConfig{Seed: 99, StoreDir: dir})
+	var after []Tenant
+	getJSON(t, base2+"/v1/tenants", &after)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("desired set diverged across restart:\n before %+v\n after  %+v", before, after)
+	}
+	var led ledgerReply
+	getJSON(t, base2+"/v1/ledger", &led)
+	if !led.VerifyOK || led.Tenants != 2 {
+		t.Fatalf("recovered ledger: %+v", led)
+	}
+}
+
+// TestServerFindingsEndpoint: the findings dump responds with JSONL (the
+// daemon's audited fabric usually has none this early — the endpoint must
+// still answer cleanly).
+func TestServerFindingsEndpoint(t *testing.T) {
+	_, base := testDaemon(t, DaemonConfig{Seed: 1})
+	resp, err := http.Get(base + "/v1/findings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("findings: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Fatalf("content type %q", ct)
+	}
+}

@@ -1,0 +1,436 @@
+// Package ctlplane is the always-on tenant control plane: it wraps
+// internal/placement's admission/placement machinery in a long-lived
+// service with the controller/watcher/store layering of production
+// network control planes. Desired tenant state (what was admitted) lives
+// in a persistent store (JSONL WAL + snapshot); realized state (ledger
+// commitments, fleet slots, materialized VFs) is continuously converged
+// toward it by a reconciler that re-places tenants displaced by node
+// failures, evacuates drained hosts, and rolls back partial
+// materializations — with per-tenant status and bounded retry/backoff.
+// Concurrent admissions scale through a sharded two-phase-commit
+// subscription ledger, and the whole thing is served northbound over
+// HTTP/JSON by the daemon in daemon.go (`ufabsim serve`).
+package ctlplane
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"ufab/internal/chaos"
+	"ufab/internal/placement"
+	"ufab/internal/sim"
+	"ufab/internal/telemetry"
+	"ufab/internal/topo"
+)
+
+// NodeHealth is the watcher's view of fabric liveness; *dataplane.Network
+// implements it. nil means no failure detection (drains still work).
+type NodeHealth interface {
+	Failed(topo.NodeID) bool
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Oversubscription scales every link's admission budget (default 1.0,
+	// the paper's predictability precondition).
+	Oversubscription float64
+	// SlotsPerHost caps VMs per host (default 8).
+	SlotsPerHost int
+	// MaxPaths bounds the ledger's per-pair ECMP enumeration (0 = all).
+	MaxPaths int
+	// Shards is the ledger's lock-partition count (0 = 8).
+	Shards int
+	// Policy picks VM hosts (default Spread — the service exists to
+	// survive failure domains).
+	Policy placement.Policy
+	// MaxRetries bounds re-placement attempts before eviction (default 5).
+	MaxRetries int
+	// RetryBackoff is the base re-placement backoff, doubled per retry
+	// (default 250 µs).
+	RetryBackoff sim.Duration
+	// Telemetry, if non-nil, publishes placement.ctl.* counters.
+	Telemetry *telemetry.Registry
+}
+
+// Decision is the service's verdict on one admit/evaluate call.
+type Decision struct {
+	Accepted bool `json:"accepted"`
+	// Reason explains a rejection: "placement", "headroom",
+	// "materialize", "invalid", "duplicate".
+	Reason string `json:"reason,omitempty"`
+	// Hosts are the (would-be) VM locations.
+	Hosts []topo.NodeID `json:"hosts,omitempty"`
+}
+
+// Stats are the service's lifetime counters; the reconciler rows are the
+// placement.ctl.* satellite metrics.
+type Stats struct {
+	Admitted, Rejected, Released                                int64
+	ReconcileLoops, Displaced, Replacements, Retries, Evictions int64
+	Desired, Placed                                             int
+}
+
+// Service owns desired tenant state and converges realized state toward
+// it. All methods are safe for concurrent use; determinism-sensitive
+// callers (experiments) drive it from one goroutine, where iteration
+// order is fixed by sorted tenant ids.
+type Service struct {
+	g      *topo.Graph
+	cfg    Config
+	ledger *ShardedLedger
+	fleet  *placement.Fleet
+	store  *Store
+	mat    placement.Materializer
+	health NodeHealth
+
+	mu       sync.Mutex
+	tenants  map[int32]*Tenant
+	draining map[topo.NodeID]bool
+
+	admitted, rejected, released                                int64
+	reconcileLoops, displaced, replacements, retries, evictions int64
+}
+
+// NewService builds the control plane over the graph. store may be nil
+// (no persistence — experiments run in-memory); mat may be nil
+// (ledger-only operation).
+func NewService(g *topo.Graph, store *Store, mat placement.Materializer, cfg Config) *Service {
+	if cfg.Oversubscription == 0 {
+		cfg.Oversubscription = 1.0
+	}
+	if cfg.SlotsPerHost == 0 {
+		cfg.SlotsPerHost = 8
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = placement.Spread{}
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 5
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 250 * sim.Microsecond
+	}
+	return &Service{
+		g:        g,
+		cfg:      cfg,
+		ledger:   NewShardedLedger(g, cfg.MaxPaths, cfg.Shards, cfg.Oversubscription),
+		fleet:    placement.NewFleet(g, cfg.SlotsPerHost),
+		store:    store,
+		mat:      mat,
+		tenants:  make(map[int32]*Tenant),
+		draining: make(map[topo.NodeID]bool),
+	}
+}
+
+// SetHealth wires the watcher's liveness source (typically the fabric's
+// dataplane network). Call before the run starts.
+func (s *Service) SetHealth(h NodeHealth) { s.health = h }
+
+// Ledger exposes the sharded subscription account (read side for the
+// auditor's ledger_bound invariant and for experiments).
+func (s *Service) Ledger() *ShardedLedger { return s.ledger }
+
+// Fleet exposes the slot-occupancy view.
+func (s *Service) Fleet() *placement.Fleet { return s.fleet }
+
+// Store exposes the persistence layer (nil when running in-memory).
+func (s *Service) Store() *Store { return s.store }
+
+// Admit decides one tenant request at simulated time nowPS. Accepted
+// tenants are realized immediately (ledger committed, fleet slots taken,
+// fabric materialized) and recorded as desired state; rejected requests
+// leave no trace.
+func (s *Service) Admit(req placement.Request, nowPS int64) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.GuaranteeBps <= 0 || req.VMs < 1 {
+		return s.rejectLocked("invalid")
+	}
+	if s.tenants[req.ID] != nil {
+		return s.rejectLocked("duplicate")
+	}
+	t := &Tenant{
+		ID:           req.ID,
+		GuaranteeBps: req.GuaranteeBps,
+		VMs:          req.VMs,
+		WeightClass:  req.WeightClass,
+		BacklogBytes: req.BacklogBytes,
+		Status:       StatusPending,
+		UpdatedPS:    nowPS,
+	}
+	d := s.placeLocked(t, nowPS)
+	if !d.Accepted {
+		return s.rejectLocked(d.Reason)
+	}
+	s.tenants[t.ID] = t
+	s.persistPutLocked(t)
+	s.admitted++
+	s.flushLocked()
+	return d
+}
+
+// Evaluate answers the what-if: would this request be admitted right now,
+// and where would it land? Nothing is committed.
+func (s *Service) Evaluate(req placement.Request) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.GuaranteeBps <= 0 || req.VMs < 1 {
+		return Decision{Reason: "invalid"}
+	}
+	if s.tenants[req.ID] != nil {
+		return Decision{Reason: "duplicate"}
+	}
+	hosts := s.cfg.Policy.Place(req, s.fleet, s.ledger)
+	if len(hosts) != req.VMs {
+		return Decision{Reason: "placement"}
+	}
+	pairs := placement.ChainPairs(hosts)
+	links, amounts, err := s.ledger.Evaluate(req.GuaranteeBps, pairs)
+	if err != nil {
+		return Decision{Reason: "placement"}
+	}
+	for i, lid := range links {
+		budget := s.cfg.Oversubscription * s.g.Link(lid).Capacity
+		if s.ledger.CommittedBps(lid)+amounts[i] > budget+1e-9 {
+			return Decision{Reason: "headroom"}
+		}
+	}
+	return Decision{Accepted: true, Hosts: hosts}
+}
+
+// Release withdraws a tenant: realized state is torn down and the desired
+// record deleted. Returns false for an unknown id.
+func (s *Service) Release(id int32, nowPS int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[id]
+	if t == nil {
+		return false
+	}
+	s.teardownLocked(t)
+	delete(s.tenants, id)
+	s.persistDeleteLocked(id)
+	s.released++
+	s.flushLocked()
+	return true
+}
+
+// Drain cordons a host and marks it for evacuation: no new placements
+// land on it, and the next reconcile pass re-places every tenant with a
+// VM there. Returns false for a host outside the fleet.
+func (s *Service) Drain(h topo.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.fleet.SetUnschedulable(h, true) {
+		return false
+	}
+	s.draining[h] = true
+	return true
+}
+
+// Uncordon reverses Drain (already-evacuated tenants stay where the
+// reconciler put them).
+func (s *Service) Uncordon(h topo.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining[h] {
+		return false
+	}
+	delete(s.draining, h)
+	// Schedulability is recomputed (health ∨ drain) next reconcile; clear
+	// the drain bit now so admissions between ticks can use the host.
+	if s.health == nil || !s.health.Failed(h) {
+		s.fleet.SetUnschedulable(h, false)
+	}
+	return true
+}
+
+// placeLocked attempts to realize t: policy placement, two-phase ledger
+// commit, fabric materialization with rollback. On success t becomes
+// Placed. mu must be held.
+func (s *Service) placeLocked(t *Tenant, nowPS int64) Decision {
+	req := placement.Request{
+		ID:           t.ID,
+		GuaranteeBps: t.GuaranteeBps,
+		VMs:          t.VMs,
+		WeightClass:  t.WeightClass,
+		BacklogBytes: t.BacklogBytes,
+	}
+	hosts := s.cfg.Policy.Place(req, s.fleet, s.ledger)
+	if len(hosts) != t.VMs {
+		return Decision{Reason: "placement"}
+	}
+	pairs := placement.ChainPairs(hosts)
+	if err := s.ledger.Admit(t.ID, t.GuaranteeBps, pairs); err != nil {
+		switch {
+		case errors.Is(err, ErrHeadroom):
+			return Decision{Reason: "headroom"}
+		case errors.Is(err, ErrDuplicate):
+			return Decision{Reason: "duplicate"}
+		default:
+			return Decision{Reason: "invalid"}
+		}
+	}
+	if s.mat != nil {
+		if !s.mat.AddTenant(s.spec(t, pairs)) {
+			s.ledger.Release(t.ID)
+			return Decision{Reason: "materialize"}
+		}
+	}
+	s.fleet.Place(hosts)
+	t.Hosts = hosts
+	t.Status = StatusPlaced
+	t.Retries = 0
+	t.NotBeforePS = 0
+	t.UpdatedPS = nowPS
+	return Decision{Accepted: true, Hosts: hosts}
+}
+
+// teardownLocked removes t's realized state (ledger, slots, fabric), if
+// any. mu must be held.
+func (s *Service) teardownLocked(t *Tenant) {
+	if t.Status != StatusPlaced {
+		return
+	}
+	if s.mat != nil {
+		s.mat.RemoveTenant(t.ID)
+	}
+	s.ledger.Release(t.ID)
+	s.fleet.Release(t.Hosts)
+	t.Hosts = nil
+}
+
+// spec converts a tenant + chain into the churn surface's tenant spec.
+func (s *Service) spec(t *Tenant, pairs []placement.Pair) chaos.TenantSpec {
+	sp := chaos.TenantSpec{
+		VF:           t.ID,
+		GuaranteeBps: t.GuaranteeBps,
+		WeightClass:  t.WeightClass,
+	}
+	for _, p := range pairs {
+		sp.Pairs = append(sp.Pairs, chaos.PairSpec{
+			Src: p.Src, Dst: p.Dst, BacklogBytes: t.BacklogBytes,
+		})
+	}
+	return sp
+}
+
+func (s *Service) rejectLocked(reason string) Decision {
+	s.rejected++
+	s.flushLocked()
+	return Decision{Reason: reason}
+}
+
+// Get returns a copy of one tenant record.
+func (s *Service) Get(id int32) (Tenant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[id]
+	if t == nil {
+		return Tenant{}, false
+	}
+	return *t, true
+}
+
+// TenantList returns copies of every record, sorted by id.
+func (s *Service) TenantList() []Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Tenant, 0, len(s.tenants))
+	for _, id := range s.sortedIDsLocked() {
+		out = append(out, *s.tenants[id])
+	}
+	return out
+}
+
+// StatusCounts returns how many tenants sit in each state.
+func (s *Service) StatusCounts() map[TenantStatus]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[TenantStatus]int)
+	for _, t := range s.tenants {
+		m[t.Status]++
+	}
+	return m
+}
+
+// Stats returns the lifetime counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	placed := 0
+	for _, t := range s.tenants {
+		if t.Status == StatusPlaced {
+			placed++
+		}
+	}
+	return Stats{
+		Admitted:       s.admitted,
+		Rejected:       s.rejected,
+		Released:       s.released,
+		ReconcileLoops: s.reconcileLoops,
+		Displaced:      s.displaced,
+		Replacements:   s.replacements,
+		Retries:        s.retries,
+		Evictions:      s.evictions,
+		Desired:        len(s.tenants),
+		Placed:         placed,
+	}
+}
+
+// Verify recomputes the sharded ledger from the admitted set (quiescent
+// callers only).
+func (s *Service) Verify() error { return s.ledger.Verify() }
+
+func (s *Service) sortedIDsLocked() []int32 {
+	ids := make([]int32, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (s *Service) persistPutLocked(t *Tenant) {
+	if s.store != nil {
+		_ = s.store.Put(*t)
+	}
+}
+
+func (s *Service) persistDeleteLocked(id int32) {
+	if s.store != nil {
+		_ = s.store.Delete(id)
+	}
+}
+
+// flushLocked mirrors the counters into the telemetry registry.
+func (s *Service) flushLocked() {
+	reg := s.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	set := func(name string, v int64) {
+		cnt := reg.Counter(name)
+		if d := v - cnt.Value(); d > 0 {
+			cnt.Add(d)
+		}
+	}
+	set("placement.ctl.admitted", s.admitted)
+	set("placement.ctl.rejected", s.rejected)
+	set("placement.ctl.released", s.released)
+	set("placement.ctl.reconcile_loops", s.reconcileLoops)
+	set("placement.ctl.displaced", s.displaced)
+	set("placement.ctl.replacements", s.replacements)
+	set("placement.ctl.retries", s.retries)
+	set("placement.ctl.evictions", s.evictions)
+	placed := 0
+	for _, t := range s.tenants {
+		if t.Status == StatusPlaced {
+			placed++
+		}
+	}
+	reg.Gauge("placement.ctl.desired_tenants").Set(float64(len(s.tenants)))
+	reg.Gauge("placement.ctl.placed_tenants").Set(float64(placed))
+	reg.Gauge("placement.ctl.max_subscription").SetMax(s.ledger.MaxSubscription())
+}

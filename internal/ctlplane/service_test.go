@@ -1,0 +1,171 @@
+package ctlplane
+
+import (
+	"reflect"
+	"testing"
+
+	"ufab/internal/chaos"
+	"ufab/internal/placement"
+	"ufab/internal/topo"
+)
+
+// fakeMat is a Materializer double: it records live specs and can be told
+// to refuse the next AddTenant (to exercise rollback).
+type fakeMat struct {
+	live    map[int32]chaos.TenantSpec
+	refuse  bool
+	adds    int
+	removes int
+}
+
+func newFakeMat() *fakeMat { return &fakeMat{live: make(map[int32]chaos.TenantSpec)} }
+
+func (m *fakeMat) AddTenant(spec chaos.TenantSpec) bool {
+	if m.refuse {
+		return false
+	}
+	m.adds++
+	m.live[spec.VF] = spec
+	return true
+}
+
+func (m *fakeMat) RemoveTenant(vf int32) bool {
+	if _, ok := m.live[vf]; !ok {
+		return false
+	}
+	m.removes++
+	delete(m.live, vf)
+	return true
+}
+
+// mapHealth is a NodeHealth double.
+type mapHealth map[topo.NodeID]bool
+
+func (h mapHealth) Failed(n topo.NodeID) bool { return h[n] }
+
+func testService(t *testing.T, store *Store, mat placement.Materializer) *Service {
+	t.Helper()
+	tb := topo.NewTestbed(topo.TestbedConfig{})
+	return NewService(tb.Graph, store, mat, Config{
+		SlotsPerHost: 4,
+		MaxPaths:     4,
+	})
+}
+
+func TestServiceAdmitEvaluateRelease(t *testing.T) {
+	mat := newFakeMat()
+	s := testService(t, nil, mat)
+
+	ev := s.Evaluate(placement.Request{ID: 1, GuaranteeBps: 2e9, VMs: 2})
+	if !ev.Accepted {
+		t.Fatalf("evaluate rejected: %s", ev.Reason)
+	}
+	if s.Stats().Desired != 0 {
+		t.Fatal("evaluate must not commit anything")
+	}
+
+	d := s.Admit(placement.Request{ID: 1, GuaranteeBps: 2e9, VMs: 2, WeightClass: 5}, 10)
+	if !d.Accepted || len(d.Hosts) != 2 {
+		t.Fatalf("admit: %+v", d)
+	}
+	if !reflect.DeepEqual(ev.Hosts, d.Hosts) {
+		t.Fatalf("evaluate predicted %v, admit landed %v", ev.Hosts, d.Hosts)
+	}
+	if mat.adds != 1 {
+		t.Fatalf("materialized %d times", mat.adds)
+	}
+	tn, ok := s.Get(1)
+	if !ok || tn.Status != StatusPlaced {
+		t.Fatalf("tenant record %+v", tn)
+	}
+	if dup := s.Admit(placement.Request{ID: 1, GuaranteeBps: 1e9, VMs: 1}, 11); dup.Accepted || dup.Reason != "duplicate" {
+		t.Fatalf("duplicate admit: %+v", dup)
+	}
+	if !s.Release(1, 20) {
+		t.Fatal("release failed")
+	}
+	if mat.removes != 1 || s.Ledger().Tenants() != 0 || s.Fleet().FreeSlots() != 8*4 {
+		t.Fatalf("release left state: removes=%d ledger=%d slots=%d",
+			mat.removes, s.Ledger().Tenants(), s.Fleet().FreeSlots())
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceMaterializeRollback: when the fabric refuses a spec, the
+// ledger commitment and fleet slots must both roll back.
+func TestServiceMaterializeRollback(t *testing.T) {
+	mat := newFakeMat()
+	mat.refuse = true
+	s := testService(t, nil, mat)
+	d := s.Admit(placement.Request{ID: 1, GuaranteeBps: 1e9, VMs: 2}, 0)
+	if d.Accepted || d.Reason != "materialize" {
+		t.Fatalf("decision %+v", d)
+	}
+	if s.Ledger().Tenants() != 0 {
+		t.Fatal("ledger commitment leaked")
+	}
+	if got := s.Fleet().FreeSlots(); got != 8*4 {
+		t.Fatalf("fleet slots leaked: %d free", got)
+	}
+	if s.Stats().Desired != 0 {
+		t.Fatal("rejected tenant left a desired record")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceRecover: a fresh service over a reopened store reproduces
+// the exact pre-crash desired set, ledger commitments and fleet slots.
+func TestServiceRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := newFakeMat()
+	s := testService(t, st, mat)
+	for id := int32(1); id <= 4; id++ {
+		if d := s.Admit(placement.Request{ID: id, GuaranteeBps: 1e9, VMs: 2}, int64(id)); !d.Accepted {
+			t.Fatalf("admit %d: %+v", id, d)
+		}
+	}
+	s.Release(2, 100)
+	before := s.TenantList()
+	links := map[topo.LinkID]float64{}
+	for lid := range s.g.Links {
+		links[topo.LinkID(lid)] = s.Ledger().CommittedBps(topo.LinkID(lid))
+	}
+	usedBefore := append([]int(nil), s.Fleet().Used...)
+	st.Close() // simulated crash: no final snapshot
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	mat2 := newFakeMat()
+	s2 := testService(t, st2, mat2)
+	if err := s2.Recover(200); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := s2.TenantList(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("desired set diverged:\n got %+v\nwant %+v", got, before)
+	}
+	for lid, want := range links {
+		if got := s2.Ledger().CommittedBps(lid); got != want {
+			t.Fatalf("link %d: recovered %v, want %v", lid, got, want)
+		}
+	}
+	if !reflect.DeepEqual(s2.Fleet().Used, usedBefore) {
+		t.Fatalf("fleet slots diverged: %v vs %v", s2.Fleet().Used, usedBefore)
+	}
+	if mat2.adds != 3 {
+		t.Fatalf("re-materialized %d tenants, want 3", mat2.adds)
+	}
+	if err := s2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

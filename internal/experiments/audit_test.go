@@ -56,9 +56,11 @@ func TestAuditAllExperimentsClean(t *testing.T) {
 // auditIDs keeps the audited determinism gate cheap while spanning a
 // baseline comparison (fig4), a multi-fabric run with a chaos crash
 // (fig15), a fault-suite flap whose excuse windows must land identically
-// (flap), and the admission-checked churn whose ledger_bound invariant
-// tracks the control plane's commitments (placechurn).
-var auditIDs = []string{"fig4", "fig15", "flap", "placechurn"}
+// (flap), the admission-checked churn whose ledger_bound invariant
+// tracks the control plane's commitments (placechurn), and the
+// reconciler convergence run whose crash/drain displacements must
+// converge identically (reconcile).
+var auditIDs = []string{"fig4", "fig15", "flap", "placechurn", "reconcile"}
 
 // TestAuditParallelDeterminism extends the `-jobs`-proof gate to the
 // audited path: with the auditor attached, both the rendered report and

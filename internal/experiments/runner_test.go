@@ -13,9 +13,9 @@ import (
 // apply). It spans motivation figures, comparative incast runs, control
 // laws, both resource-model tables, and two fault-injection experiments
 // (link flaps and tenant churn) so chaos scheduling stays `-jobs`-proof,
-// plus the control-plane suite's policy comparison and admission-checked
-// churn so placement decisions do too.
-var fastIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig12", "fig19", "tab3", "tab4", "flap", "churn", "placecmp", "placechurn"}
+// plus the control-plane suite's policy comparison, admission-checked
+// churn and reconciler convergence so placement decisions do too.
+var fastIDs = []string{"fig1", "fig2", "fig3", "fig4", "fig12", "fig19", "tab3", "tab4", "flap", "churn", "placecmp", "placechurn", "reconcile"}
 
 // TestParallelRunnerDeterminism is the CI gate for the tentpole claim: a
 // parallel batch must produce Reports identical — field for field and

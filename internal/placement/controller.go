@@ -201,7 +201,7 @@ func (c *Controller) decide(req Request) Decision {
 			return c.reject(req, "materialize")
 		}
 	}
-	c.fleet.place(hosts)
+	c.fleet.Place(hosts)
 	c.hostsOf[req.ID] = hosts
 	c.admitted++
 	c.event(req, "admit")
@@ -244,7 +244,7 @@ func (c *Controller) Release(id int32) bool {
 	}
 	c.ledger.Release(id)
 	if hosts, ok := c.hostsOf[id]; ok {
-		c.fleet.release(hosts)
+		c.fleet.Release(hosts)
 		delete(c.hostsOf, id)
 	}
 	c.released++
@@ -307,7 +307,7 @@ func (c *Controller) ReleaseTenant(vf int32) bool {
 		return false
 	}
 	if hosts, ok := c.hostsOf[vf]; ok {
-		c.fleet.release(hosts)
+		c.fleet.Release(hosts)
 		delete(c.hostsOf, vf)
 	}
 	c.released++

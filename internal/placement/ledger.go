@@ -169,6 +169,9 @@ func (l *Ledger) Release(id int32) bool {
 	return true
 }
 
+// Graph returns the topology the ledger accounts over.
+func (l *Ledger) Graph() *topo.Graph { return l.g }
+
 // Has reports whether the tenant currently holds a commitment.
 func (l *Ledger) Has(id int32) bool { return l.tenants[id] != nil }
 

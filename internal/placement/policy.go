@@ -20,6 +20,10 @@ type Fleet struct {
 	ToRGroup []int
 	// Groups is the number of distinct ToR groups.
 	Groups int
+	// Unschedulable marks hosts no policy may place onto — failed nodes
+	// and hosts being drained. Existing placements are unaffected; the
+	// reconciler evacuates them separately.
+	Unschedulable []bool
 
 	index map[topo.NodeID]int
 }
@@ -45,16 +49,22 @@ func NewFleet(g *topo.Graph, slotsPerHost int) *Fleet {
 		f.ToRGroup = append(f.ToRGroup, grp)
 	}
 	f.Used = make([]int, len(f.Hosts))
+	f.Unschedulable = make([]bool, len(f.Hosts))
 	return f
 }
 
-// free reports whether host index i has a free VM slot.
-func (f *Fleet) free(i int) bool { return f.Used[i] < f.SlotsPerHost }
+// free reports whether host index i can accept another VM.
+func (f *Fleet) free(i int) bool {
+	return !f.Unschedulable[i] && f.Used[i] < f.SlotsPerHost
+}
 
-// FreeSlots returns the total free VM slots across the fleet.
+// FreeSlots returns the total free VM slots across schedulable hosts.
 func (f *Fleet) FreeSlots() int {
 	n := 0
-	for _, u := range f.Used {
+	for i, u := range f.Used {
+		if f.Unschedulable[i] {
+			continue
+		}
 		if s := f.SlotsPerHost - u; s > 0 {
 			n += s
 		}
@@ -62,17 +72,51 @@ func (f *Fleet) FreeSlots() int {
 	return n
 }
 
-// place/release update occupancy for a decided placement.
-func (f *Fleet) place(hosts []topo.NodeID) {
+// SetUnschedulable cordons (or uncordons) a host; unknown hosts are
+// ignored. Returns whether the host is part of the fleet.
+func (f *Fleet) SetUnschedulable(h topo.NodeID, v bool) bool {
+	i, ok := f.index[h]
+	if !ok {
+		return false
+	}
+	f.Unschedulable[i] = v
+	return true
+}
+
+// HostIndex returns the fleet index of a host (-1 if unknown).
+func (f *Fleet) HostIndex(h topo.NodeID) int {
+	i, ok := f.index[h]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Place/Release update occupancy for a decided placement.
+func (f *Fleet) Place(hosts []topo.NodeID) {
 	for _, h := range hosts {
 		f.Used[f.index[h]]++
 	}
 }
 
-func (f *Fleet) release(hosts []topo.NodeID) {
+func (f *Fleet) Release(hosts []topo.NodeID) {
 	for _, h := range hosts {
 		f.Used[f.index[h]]--
 	}
+}
+
+// LedgerView is the read/what-if surface a policy needs from a
+// subscription ledger. *Ledger implements it, and so does the control
+// plane's sharded ledger (ctlplane.ShardedLedger) — policies stay
+// agnostic of which account backs them.
+type LedgerView interface {
+	// Evaluate returns, without committing, the links a placement would
+	// touch and the bps it would add to each.
+	Evaluate(guaranteeBps float64, pairs []Pair) ([]topo.LinkID, []float64, error)
+	// CommittedBps returns the Σ-guarantee currently committed on a link.
+	CommittedBps(lid topo.LinkID) float64
+	// Graph returns the topology the ledger accounts over.
+	Graph() *topo.Graph
 }
 
 // Policy picks hosts for a tenant's VMs. Place returns one distinct host
@@ -81,7 +125,7 @@ func (f *Fleet) release(hosts []topo.NodeID) {
 // headroom check passes. Implementations must be deterministic.
 type Policy interface {
 	Name() string
-	Place(req Request, fleet *Fleet, ledger *Ledger) []topo.NodeID
+	Place(req Request, fleet *Fleet, ledger LedgerView) []topo.NodeID
 }
 
 // ---- first-fit -------------------------------------------------------------
@@ -92,7 +136,7 @@ type FirstFit struct{}
 
 func (FirstFit) Name() string { return "first-fit" }
 
-func (FirstFit) Place(req Request, fleet *Fleet, _ *Ledger) []topo.NodeID {
+func (FirstFit) Place(req Request, fleet *Fleet, _ LedgerView) []topo.NodeID {
 	var hosts []topo.NodeID
 	for i := range fleet.Hosts {
 		if fleet.free(i) {
@@ -114,7 +158,7 @@ type Spread struct{}
 
 func (Spread) Name() string { return "spread" }
 
-func (Spread) Place(req Request, fleet *Fleet, _ *Ledger) []topo.NodeID {
+func (Spread) Place(req Request, fleet *Fleet, _ LedgerView) []topo.NodeID {
 	if fleet.Groups == 0 {
 		return nil
 	}
@@ -163,7 +207,7 @@ type SubscriptionAware struct{}
 
 func (SubscriptionAware) Name() string { return "subscription-aware" }
 
-func (SubscriptionAware) Place(req Request, fleet *Fleet, ledger *Ledger) []topo.NodeID {
+func (SubscriptionAware) Place(req Request, fleet *Fleet, ledger LedgerView) []topo.NodeID {
 	taken := make(map[topo.NodeID]bool, req.VMs)
 	// Pending contributions of the pairs this placement has already
 	// decided, per link.
@@ -203,7 +247,7 @@ func (SubscriptionAware) Place(req Request, fleet *Fleet, ledger *Ledger) []topo
 			score := 0.0
 			for j, lid := range links {
 				sub := (ledger.CommittedBps(lid) + pending[lid] + amounts[j]) /
-					ledger.g.Link(lid).Capacity
+					ledger.Graph().Link(lid).Capacity
 				if sub > score {
 					score = sub
 				}

@@ -100,7 +100,7 @@ func TestSubscriptionAwareBeatsFirstFit(t *testing.T) {
 			if err := ledger.Commit(req.ID, req.GuaranteeBps, ChainPairs(hosts)); err != nil {
 				continue
 			}
-			fleet.place(hosts)
+			fleet.Place(hosts)
 			admitted++
 		}
 		return ledger.MaxSubscription(), admitted
