@@ -4,9 +4,9 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place fuzz serve-smoke
+.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place fuzz serve-smoke shard
 
-ci: build vet fmt-check test race bench check audit fuzz serve-smoke
+ci: build vet fmt-check test race bench check audit shard fuzz serve-smoke
 	@echo "CI gate passed"
 
 build:
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race ./internal/placement
 	$(GO) test -race ./internal/ctlplane
-	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism|TestAuditParallelDeterminism'
+	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism|TestAuditParallelDeterminism|TestShardIdentity'
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench.txt
@@ -47,6 +47,14 @@ audit:
 	$(GO) run ./cmd/ufabsim check -audit
 	$(GO) test -run '^$$' -bench BenchmarkAuditOverhead -benchtime 1x .
 	$(GO) test -run '^$$' -bench BenchmarkAdmission -benchtime 100x .
+
+# The sharded-core gate: the whole evaluation replayed on the parallel
+# engine must reproduce the sequential golden numbers exactly, and the
+# sequential-vs-sharded wall-clock benchmark lands in BENCH_shardsim.json
+# (set UFAB_BENCH_FULL=1 on a multicore box for the 8192-host fabric).
+shard:
+	$(GO) run ./cmd/ufabsim check -shards 4
+	$(GO) test -run '^$$' -bench BenchmarkShardedEngine -benchtime 1x .
 
 golden:
 	$(GO) run ./cmd/ufabsim check -update

@@ -61,6 +61,7 @@ func main() {
 	scenario := flag.String("scenario", "", "chaos scenario JSON file, replayed by the chaoslab experiment")
 	telemetry := flag.Bool("telemetry", false, "attach the unified telemetry registry (link/agent instruments + flight recorder) to each run's fabric")
 	metricsOut := flag.String("metrics", "", "write every run's registry snapshot as JSON to this file (implies -telemetry)")
+	shards := flag.Int("shards", 0, "parallel simulation workers per run: 0 = sequential engine, N >= 1 = sharded parallel-in-time core with N workers (results are bit-identical across values)")
 	auditFlag := flag.Bool("audit", false, "attach the online predictability auditor to each run's fabric (implies -telemetry for it)")
 	findingsOut := flag.String("findings", "", "write every run's audit findings as JSONL to this file (implies -audit)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
@@ -78,7 +79,7 @@ func main() {
 			}
 		}()
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed,
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards,
 		Telemetry: *telemetry || *metricsOut != "",
 		Audit:     *auditFlag || *findingsOut != ""}
 	if *scenario != "" {
@@ -115,7 +116,7 @@ func main() {
 	case "audit":
 		auditCmd(runner, opts, *repeat, args[1:])
 	case "check":
-		check(runner, args[1:], opts.Telemetry, opts.Audit)
+		check(runner, args[1:], opts)
 	case "fuzz":
 		fuzzCmd(args[1:])
 	case "serve":
@@ -338,21 +339,23 @@ func trace(opts experiments.Options, args []string) {
 	opts.Telemetry = true
 	rep := e.Run(opts)
 	fmt.Fprint(os.Stderr, rep.String())
-	rec := rep.Reg.Recorder()
-	if rec == nil {
+	if rep.Reg.Recorder() == nil {
 		fmt.Fprintln(os.Stderr, "no flight recorder attached")
 		os.Exit(1)
 	}
-	dropped := rec.Dropped()
+	// Totals and the exported stream span every recorder of the run — the
+	// base ring plus, under -shards, one ring per logical shard — merged
+	// into one canonical order.
+	total, dropped := rep.Reg.TraceTotals()
 	if dropped > 0 {
-		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events (oldest %d dropped by the ring) --\n",
-			rec.Total(), dropped)
-		fmt.Fprintf(os.Stderr, "warning: the trace below is missing its oldest %d events — the ring wrapped; re-run with a larger recorder capacity or a shorter horizon for a complete trace\n",
+		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events (oldest %d dropped by the rings) --\n",
+			total, dropped)
+		fmt.Fprintf(os.Stderr, "warning: the trace below is missing its oldest %d events — a ring wrapped; re-run with a larger recorder capacity or a shorter horizon for a complete trace\n",
 			dropped)
 	} else {
-		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events --\n", rec.Total())
+		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events --\n", total)
 	}
-	if err := rec.WriteJSONL(os.Stdout); err != nil {
+	if err := rep.Reg.WriteTraceJSONL(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -363,15 +366,16 @@ func trace(opts experiments.Options, args []string) {
 
 // check replays the whole evaluation at the golden file's pinned options
 // and fails on metric drift. With -update it re-records the baseline.
-// withTelemetry attaches the instrumentation during the replay — results
-// must be identical either way, so CI runs check in both modes.
-func check(runner *experiments.Runner, args []string, withTelemetry, withAudit bool) {
+// Telemetry, auditing and the sharded core must all reproduce the same
+// numbers, so CI runs check in every mode against one golden file.
+func check(runner *experiments.Runner, args []string, cli experiments.Options) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	golden := fs.String("golden", "golden_metrics.json", "golden metrics file")
 	update := fs.Bool("update", false, "re-record the baseline instead of checking")
 	tol := fs.Float64("tol", 1e-6, "default relative tolerance when recording with -update")
 	telemetry := fs.Bool("telemetry", false, "attach the telemetry registry during the replay (results must not change)")
 	auditFlag := fs.Bool("audit", false, "attach the predictability auditor during the replay (results must not change, findings must be clean)")
+	shards := fs.Int("shards", -1, "replay on the sharded parallel-in-time core with N workers (results must not change); -1 inherits the top-level -shards")
 	fs.Parse(args)
 
 	opts := experiments.Options{Quick: true, Seed: 1}
@@ -385,8 +389,12 @@ func check(runner *experiments.Runner, args []string, withTelemetry, withAudit b
 		}
 		opts = g.Options
 	}
-	opts.Telemetry = withTelemetry || *telemetry
-	opts.Audit = withAudit || *auditFlag
+	opts.Telemetry = cli.Telemetry || *telemetry
+	opts.Audit = cli.Audit || *auditFlag
+	opts.Shards = cli.Shards
+	if *shards >= 0 {
+		opts.Shards = *shards
+	}
 
 	t0 := time.Now()
 	jobs, err := experiments.ExpandIDs(experiments.AllIDs(), opts, 1)
@@ -413,10 +421,12 @@ func check(runner *experiments.Runner, args []string, withTelemetry, withAudit b
 	}
 	if *update {
 		g := experiments.BuildGolden(opts, reports, *tol)
-		// The baseline must never pin telemetry or auditing: check replays
-		// with the recorded options, and every mode must reproduce it.
+		// The baseline must never pin telemetry, auditing or an execution
+		// mode: check replays with the recorded options, and every mode
+		// must reproduce it.
 		g.Options.Telemetry = false
 		g.Options.Audit = false
+		g.Options.Shards = 0
 		if err := g.Save(*golden); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -458,6 +468,9 @@ func check(runner *experiments.Runner, args []string, withTelemetry, withAudit b
 	}
 	if opts.Audit {
 		mode += ", audited"
+	}
+	if opts.Shards > 0 {
+		mode += fmt.Sprintf(", sharded x%d", opts.Shards)
 	}
 	fmt.Printf("check ok: %d experiments match %s in %.1fs (%s)\n", len(reports), *golden, wall, mode)
 }

@@ -23,7 +23,7 @@ type fabricNet struct {
 	conns map[[3]int64]*workload.Messages
 }
 
-func (n *fabricNet) Engine() *sim.Engine { return n.f.Eng }
+func (n *fabricNet) Engine() sim.Scheduler { return n.f.Eng }
 
 func (n *fabricNet) Dial(vf int32, tokens float64, src, dst topo.NodeID) *workload.Messages {
 	k := [3]int64{int64(vf), int64(src), int64(dst)}

@@ -26,7 +26,7 @@ type Net interface {
 	// given VF with the given token weight, creating it on first use.
 	Dial(vf int32, tokens float64, src, dst topo.NodeID) *workload.Messages
 	// Engine returns the simulation clock driving the fabric.
-	Engine() *sim.Engine
+	Engine() sim.Scheduler
 }
 
 // VM identifies an application VM by the host it is placed on and an index
@@ -220,7 +220,7 @@ func (m *Mongo) Start() {
 	}
 }
 
-func (m *Mongo) startLoop(eng *sim.Engine, client VM) {
+func (m *Mongo) startLoop(eng sim.Scheduler, client VM) {
 	{
 		var loop func()
 		loop = func() {

@@ -23,7 +23,7 @@ func newFakeNet(rate float64, latency sim.Duration) *fakeNet {
 	return &fakeNet{eng: sim.New(), rate: rate, latency: latency, conns: map[[3]int64]*workload.Messages{}}
 }
 
-func (f *fakeNet) Engine() *sim.Engine { return f.eng }
+func (f *fakeNet) Engine() sim.Scheduler { return f.eng }
 
 func (f *fakeNet) Dial(vf int32, tokens float64, src, dst topo.NodeID) *workload.Messages {
 	k := [3]int64{int64(vf), int64(src), int64(dst)}

@@ -148,7 +148,7 @@ func newFakeTarget() (*fakeTarget, *topo.Star) {
 	}, st
 }
 
-func (f *fakeTarget) Engine() *sim.Engine         { return f.eng }
+func (f *fakeTarget) Engine() sim.Scheduler       { return f.eng }
 func (f *fakeTarget) Network() *dataplane.Network { return f.net }
 func (f *fakeTarget) RestartCoreAgent(n topo.NodeID) bool {
 	f.restarts = append(f.restarts, n)

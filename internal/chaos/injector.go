@@ -16,7 +16,7 @@ import (
 // records rejections in the log instead of panicking mid-simulation.
 type Target interface {
 	// Engine returns the simulation engine events are scheduled on.
-	Engine() *sim.Engine
+	Engine() sim.Scheduler
 	// Network returns the dataplane carrying node and link fault state.
 	Network() *dataplane.Network
 	// RestartCoreAgent reboots the μFAB-C agent on a switch, losing its
@@ -70,7 +70,7 @@ type Admission interface {
 // Injector owns a scheduled scenario and its injection log.
 type Injector struct {
 	target   Target
-	eng      *sim.Engine
+	eng      sim.Scheduler
 	scenario *Scenario
 	adm      Admission
 	// Log records every applied (or rejected) event in firing order.

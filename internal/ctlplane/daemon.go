@@ -123,7 +123,14 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		Audit:     &audit.Config{Log: d.Audit},
 	}
 	ufCfg.Core.CleanupPeriod = 5 * sim.Millisecond
-	d.UF = vfabric.New(d.Eng, d.Clos.Graph, ufCfg)
+	// The daemon's fabric comes from the same construction path as the
+	// experiments and fuzzer; the daemon owns the engine loop, so the
+	// fabric stays sequential regardless of the pod partition.
+	uf, err := vfabric.Build(vfabric.BuildOptions{Graph: d.Clos.Graph, Cfg: ufCfg, Eng: d.Eng})
+	if err != nil {
+		return nil, fmt.Errorf("ctlplane: build fabric: %w", err)
+	}
+	d.UF = uf
 	d.UF.StartCoreCleanup()
 
 	var store *Store

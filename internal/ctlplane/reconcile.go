@@ -96,7 +96,7 @@ func (s *Service) displacedLocked(t *Tenant) bool {
 // returns the stop function. period ≤ 0 defaults to 500 µs — well inside
 // the auditor's 5 ms fault-excuse window, so a crash-displaced tenant is
 // re-placed before its findings can outlive the excuse.
-func (s *Service) StartReconciler(eng *sim.Engine, period sim.Duration) (stop func()) {
+func (s *Service) StartReconciler(eng sim.Scheduler, period sim.Duration) (stop func()) {
 	if period <= 0 {
 		period = 500 * sim.Microsecond
 	}

@@ -13,6 +13,8 @@ package dataplane
 import (
 	"fmt"
 	mrand "math/rand"
+	"sync"
+	"sync/atomic"
 
 	"ufab/internal/sim"
 	"ufab/internal/telemetry"
@@ -224,8 +226,19 @@ func (r *rateEstimator) Rate(now sim.Time) float64 {
 }
 
 // Network simulates packet forwarding over a topology graph.
+//
+// Sharding: every node belongs to a logical shard (shardOf), and all state
+// keyed by a node — its egress ports, queues, handlers, agents, per-shard RNG
+// and recorder — is only ever touched from that shard's scheduling context.
+// Under the plain constructor there is a single shard and a single context;
+// under NewPartitioned the contexts are either views of one sequential engine
+// or the shard engines of the parallel core, with cross-shard packet
+// propagation handed off through sim.Sharded.Send.
 type Network struct {
-	Eng *sim.Engine
+	// Eng is the coordinator-context scheduler: use it for setup and for
+	// globally scoped work (sampling, chaos). Per-node work must schedule on
+	// NodeScheduler.
+	Eng sim.Scheduler
 	G   *topo.Graph
 	Cfg Config
 
@@ -235,21 +248,35 @@ type Network struct {
 	agents   []SwitchAgent // indexed by NodeID (switches)
 	failed   []bool        // indexed by NodeID
 	faults   []linkFault   // indexed by LinkID
-	faultRng *mrand.Rand   // drives probabilistic link faults
+
+	// shardOf maps every node to its logical shard; scheds, faultRngs and
+	// recs are indexed by shard. shard is the parallel driver when running
+	// on the sharded core, nil otherwise.
+	shardOf   []int32
+	scheds    []sim.Scheduler
+	faultRngs []*mrand.Rand
+	shard     *sim.Sharded
 
 	// dist[h] is the hop distance from every node to host h, for ECMP;
-	// computed lazily per destination.
-	dist map[topo.NodeID][]int32
+	// computed lazily per destination. distMu serializes the lazy fill,
+	// which shards may race on.
+	distMu sync.RWMutex
+	dist   map[topo.NodeID][]int32
 
-	// rec is the flight recorder (nil when telemetry is off — recording
-	// into a nil recorder is a free no-op). linkEntity[l] is the
-	// precomputed dotted instance name of link l ("link.core1-agg2"), so
-	// drop-path recording never allocates.
+	// rec is the coordinator-context flight recorder (nil when telemetry is
+	// off — recording into a nil recorder is a free no-op); recs[s] is the
+	// recorder drop/fault events from shard s's links go to (all equal to
+	// rec in a single-shard Network). linkEntity[l] is the precomputed
+	// dotted instance name of link l ("link.core1-agg2"), so drop-path
+	// recording never allocates.
 	rec        *telemetry.Recorder
+	recs       []*telemetry.Recorder
 	linkEntity []string
 
 	// TotalDrops counts packets dropped anywhere (queue overflow, failed
-	// node, or link fault).
+	// node, or link fault). Updated atomically: drops happen in shard
+	// context, and the global counters are the only dataplane state shared
+	// across shards.
 	TotalDrops uint64
 	// FaultDrops counts the subset of TotalDrops caused by link faults.
 	FaultDrops uint64
@@ -262,12 +289,29 @@ type Network struct {
 	// `at` is the node that detects the drop (the switch whose BFD sees
 	// the failure and can bounce a type-4 failure notification back to
 	// the source); `failed` is the node that actually failed or became
-	// unreachable.
+	// unreachable. It runs in the detecting node's shard context.
 	OnFailDrop func(pkt *Packet, at, failed topo.NodeID)
 }
 
-// New builds a Network over g driven by eng.
-func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
+// faultSeedMix whitens the user-facing fault seed; shard 0 keeps the exact
+// historical sequential stream so single-shard topologies reproduce old runs.
+const faultSeedMix = 0x5fa017b8c2d94e63
+
+// faultSeed derives shard s's fault-RNG seed from the configured seed — a
+// pure function of (seed, shardID), never of worker count, so fault draws are
+// identical across `-shards 0 … N`.
+func faultSeed(seed int64, s int) int64 {
+	x := uint64(seed) ^ faultSeedMix
+	if s == 0 {
+		return int64(x)
+	}
+	x += uint64(s) * 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 33)) * 0xff51afd7ed558ccd
+	x = (x ^ (x >> 33)) * 0xc4ceb9fe1a85ec53
+	return int64(x ^ (x >> 33))
+}
+
+func newNetwork(g *topo.Graph, cfg Config) *Network {
 	if cfg.QueueCapBytes == 0 {
 		cfg.QueueCapBytes = 10 << 20
 	}
@@ -275,7 +319,6 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 		cfg.RateWindow = 16 * sim.Microsecond
 	}
 	n := &Network{
-		Eng:      eng,
 		G:        g,
 		Cfg:      cfg,
 		Ports:    make([]Port, len(g.Links)),
@@ -283,7 +326,6 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 		agents:   make([]SwitchAgent, len(g.Nodes)),
 		failed:   make([]bool, len(g.Nodes)),
 		faults:   make([]linkFault, len(g.Links)),
-		faultRng: mrand.New(mrand.NewSource(cfg.FaultSeed ^ 0x5fa017b8c2d94e63)),
 		dist:     make(map[topo.NodeID][]int32),
 	}
 	for i := range n.Ports {
@@ -294,7 +336,6 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 		p.rate.window = cfg.RateWindow
 	}
 	if cfg.Telemetry != nil {
-		n.rec = cfg.Telemetry.Recorder()
 		n.linkEntity = make([]string, len(g.Links))
 		for i := range n.linkEntity {
 			l := g.Link(topo.LinkID(i))
@@ -304,6 +345,93 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Network {
 	}
 	return n
 }
+
+// New builds a Network over g driven by eng, with all nodes in one logical
+// shard — the classic sequential dataplane.
+func New(eng sim.Scheduler, g *topo.Graph, cfg Config) *Network {
+	n := newNetwork(g, cfg)
+	n.Eng = eng
+	n.shardOf = make([]int32, len(g.Nodes))
+	n.scheds = []sim.Scheduler{eng}
+	n.faultRngs = []*mrand.Rand{mrand.New(mrand.NewSource(faultSeed(cfg.FaultSeed, 0)))}
+	if cfg.Telemetry != nil {
+		n.rec = cfg.Telemetry.Recorder()
+	}
+	n.recs = []*telemetry.Recorder{n.rec}
+	return n
+}
+
+// NewPartitioned builds a Network whose scheduling contexts follow a
+// topology partition: one scheduler, fault-RNG stream and flight recorder
+// per logical shard. The driver picks the execution mode — a *sim.Engine
+// runs every shard through views of one sequential heap, a *sim.Sharded runs
+// them in parallel with cross-shard propagation over its rings — and both
+// modes stamp identical event keys, so their output is bit-identical.
+func NewPartitioned(drv sim.Driver, part *topo.Partition, g *topo.Graph, cfg Config) *Network {
+	if len(part.Node) != len(g.Nodes) {
+		panic(fmt.Sprintf("dataplane: partition covers %d nodes, graph has %d", len(part.Node), len(g.Nodes)))
+	}
+	n := newNetwork(g, cfg)
+	n.Eng = drv
+	n.shardOf = part.Node
+	n.scheds = make([]sim.Scheduler, part.Shards)
+	n.faultRngs = make([]*mrand.Rand, part.Shards)
+	for i := range n.faultRngs {
+		n.faultRngs[i] = mrand.New(mrand.NewSource(faultSeed(cfg.FaultSeed, i)))
+	}
+	switch d := drv.(type) {
+	case *sim.Sharded:
+		if d.Shards() != part.Shards {
+			panic(fmt.Sprintf("dataplane: driver has %d shards, partition %d", d.Shards(), part.Shards))
+		}
+		n.shard = d
+		for i := range n.scheds {
+			n.scheds[i] = d.Shard(i)
+		}
+		// Declare the ring pairs cross-shard propagation will use.
+		for _, l := range g.Links {
+			if a, b := part.Node[l.Src], part.Node[l.Dst]; a != b {
+				d.Connect(int(a), int(b))
+			}
+		}
+	case *sim.Engine:
+		d.SetSrc(uint32(part.Shards))
+		for i := range n.scheds {
+			n.scheds[i] = d.ShardView(uint32(i))
+		}
+	default:
+		panic(fmt.Sprintf("dataplane: unsupported driver %T", drv))
+	}
+	if cfg.Telemetry != nil {
+		n.rec = cfg.Telemetry.ShardRecorder(-1)
+		n.recs = make([]*telemetry.Recorder, part.Shards)
+		for i := range n.recs {
+			n.recs[i] = cfg.Telemetry.ShardRecorder(i)
+		}
+	} else {
+		n.recs = make([]*telemetry.Recorder, part.Shards)
+	}
+	return n
+}
+
+// Shards returns the number of logical shards (1 for the plain constructor).
+func (n *Network) Shards() int { return len(n.scheds) }
+
+// ShardOf returns the logical shard owning node id.
+func (n *Network) ShardOf(id topo.NodeID) int { return int(n.shardOf[id]) }
+
+// NodeScheduler returns the scheduler for node id's shard context — the
+// clock all work attached to that node (agents, workloads, host timers) must
+// schedule on.
+func (n *Network) NodeScheduler(id topo.NodeID) sim.Scheduler {
+	return n.scheds[n.shardOf[id]]
+}
+
+// schedAt / recAt / rngAt return the scheduling context, flight recorder and
+// fault-RNG stream of node id's shard.
+func (n *Network) schedAt(id topo.NodeID) sim.Scheduler     { return n.scheds[n.shardOf[id]] }
+func (n *Network) recAt(id topo.NodeID) *telemetry.Recorder { return n.recs[n.shardOf[id]] }
+func (n *Network) rngAt(id topo.NodeID) *mrand.Rand         { return n.faultRngs[n.shardOf[id]] }
 
 // FlightRecorder returns the run-trace recorder drop events go to (nil
 // when telemetry is off); chaos injection records its faults there too.
@@ -407,7 +535,7 @@ func (n *Network) SendECMP(pkt *Packet, src topo.NodeID) {
 	pkt.Route = nil
 	next := n.ecmpNext(src, pkt)
 	if next == topo.NoLink {
-		n.TotalDrops++
+		atomic.AddUint64(&n.TotalDrops, 1)
 		return
 	}
 	n.enqueue(pkt, next)
@@ -415,10 +543,11 @@ func (n *Network) SendECMP(pkt *Packet, src topo.NodeID) {
 
 func (n *Network) enqueue(pkt *Packet, lid topo.LinkID) {
 	port := &n.Ports[lid]
+	sched := n.schedAt(port.Link.Src)
 	if n.failed[port.Link.Src] || n.failed[port.Link.Dst] {
-		n.TotalDrops++
-		if n.rec != nil {
-			n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvDrop,
+		atomic.AddUint64(&n.TotalDrops, 1)
+		if rec := n.recAt(port.Link.Src); rec != nil {
+			rec.Record(telemetry.Event{T: int64(sched.Now()), Kind: telemetry.EvDrop,
 				Entity: n.linkEntity[lid], A: int64(pkt.Kind), Note: "failed"})
 		}
 		if n.OnFailDrop != nil {
@@ -438,7 +567,7 @@ func (n *Network) enqueue(pkt *Packet, lid topo.LinkID) {
 	// Switch agent hook (INT read/write) fires at enqueue time on
 	// switch egress.
 	if ag := n.agents[port.Link.Src]; ag != nil {
-		ag.OnForward(pkt, port, n.Eng.Now())
+		ag.OnForward(pkt, port, sched.Now())
 	}
 	// ECN marking on queue buildup.
 	if port.ecnBytes > 0 && port.queueBytes >= port.ecnBytes {
@@ -446,9 +575,9 @@ func (n *Network) enqueue(pkt *Packet, lid topo.LinkID) {
 	}
 	if port.queueBytes+pkt.Size > port.capBytes {
 		port.Drops++
-		n.TotalDrops++
-		if n.rec != nil {
-			n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvDrop,
+		atomic.AddUint64(&n.TotalDrops, 1)
+		if rec := n.recAt(port.Link.Src); rec != nil {
+			rec.Record(telemetry.Event{T: int64(sched.Now()), Kind: telemetry.EvDrop,
 				Entity: n.linkEntity[lid], A: int64(pkt.Kind),
 				B: int64(port.queueBytes), Note: "overflow"})
 		}
@@ -469,16 +598,25 @@ func (n *Network) startTx(port *Port) {
 	port.queue = port.queue[1:]
 	port.queueBytes -= pkt.Size
 	port.busy = true
+	src := port.Link.Src
+	sched := n.schedAt(src)
 	ser := topo.SerializationDelay(pkt.Size, n.effectiveCapacity(port))
-	n.Eng.After(ser, func() {
+	sched.After(ser, func() {
 		port.busy = false
 		port.TxPackets++
 		port.TxBytes += uint64(pkt.Size)
-		port.rate.add(n.Eng.Now(), pkt.Size)
-		// Propagate to the far end (a gray fault may add latency).
+		port.rate.add(sched.Now(), pkt.Size)
+		// Propagate to the far end (a gray fault may add latency). A
+		// cross-shard hop hands the arrival to the destination shard's
+		// heap; the partition guarantees prop is at least the lookahead
+		// window.
 		dst := port.Link.Dst
 		prop := port.Link.PropDelay + n.faults[port.Link.ID].deg.ExtraDelay
-		n.Eng.After(prop, func() { n.arrive(pkt, dst) })
+		if sd, dd := n.shardOf[src], n.shardOf[dst]; n.shard != nil && sd != dd {
+			n.shard.Send(int(sd), int(dd), prop, func() { n.arrive(pkt, dst) })
+		} else {
+			sched.After(prop, func() { n.arrive(pkt, dst) })
+		}
 		if len(port.queue) > 0 {
 			n.startTx(port)
 		}
@@ -487,7 +625,7 @@ func (n *Network) startTx(port *Port) {
 
 func (n *Network) arrive(pkt *Packet, at topo.NodeID) {
 	if n.failed[at] {
-		n.TotalDrops++
+		atomic.AddUint64(&n.TotalDrops, 1)
 		return
 	}
 	node := n.G.Node(at)
@@ -505,7 +643,7 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID) {
 	if len(pkt.Route) > 0 {
 		pkt.Hop++
 		if pkt.Hop >= len(pkt.Route) {
-			n.TotalDrops++ // route exhausted before reaching a host
+			atomic.AddUint64(&n.TotalDrops, 1) // route exhausted before reaching a host
 			return
 		}
 		next = pkt.Route[pkt.Hop]
@@ -515,7 +653,7 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID) {
 	} else {
 		next = n.ecmpNext(at, pkt)
 		if next == topo.NoLink {
-			n.TotalDrops++
+			atomic.AddUint64(&n.TotalDrops, 1)
 			return
 		}
 	}
@@ -523,12 +661,22 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID) {
 }
 
 // distTo returns (computing if needed) hop distances from all nodes to dst.
+// Shards race on the lazy fill, so the map is guarded: reads take the shared
+// lock, a miss recomputes under the exclusive one.
 func (n *Network) distTo(dst topo.NodeID) []int32 {
+	n.distMu.RLock()
+	d, ok := n.dist[dst]
+	n.distMu.RUnlock()
+	if ok {
+		return d
+	}
+	n.distMu.Lock()
+	defer n.distMu.Unlock()
 	if d, ok := n.dist[dst]; ok {
 		return d
 	}
 	const inf = int32(1) << 30
-	d := make([]int32, len(n.G.Nodes))
+	d = make([]int32, len(n.G.Nodes))
 	for i := range d {
 		d[i] = inf
 	}

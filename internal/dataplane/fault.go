@@ -1,6 +1,8 @@
 package dataplane
 
 import (
+	"sync/atomic"
+
 	"ufab/internal/sim"
 	"ufab/internal/telemetry"
 	"ufab/internal/topo"
@@ -116,7 +118,10 @@ func (n *Network) effectiveCapacity(port *Port) float64 {
 
 // faultFilter applies the link's fault state to a packet about to enter
 // it. It returns false when the packet is dropped. Corruption mutates a
-// copy of the payload so shared probe buffers are never aliased.
+// copy of the payload so shared probe buffers are never aliased. It runs in
+// the link-source shard's context: probabilistic draws consume that shard's
+// RNG stream, so fault outcomes are a pure function of (topology, seed) no
+// matter how many workers execute the shards.
 func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 	f := &n.faults[port.Link.ID]
 	if f.clear() {
@@ -124,8 +129,8 @@ func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 	}
 	if f.down {
 		port.FaultDrops++
-		n.FaultDrops++
-		n.TotalDrops++
+		atomic.AddUint64(&n.FaultDrops, 1)
+		atomic.AddUint64(&n.TotalDrops, 1)
 		n.recordFaultDrop(pkt, port)
 		if n.OnFailDrop != nil {
 			// The near end detects the dark link; from its viewpoint the
@@ -135,30 +140,31 @@ func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 		return false
 	}
 	d := &f.deg
-	if d.LossProb > 0 && n.faultRng.Float64() < d.LossProb {
+	rng := n.rngAt(port.Link.Src)
+	if d.LossProb > 0 && rng.Float64() < d.LossProb {
 		port.FaultDrops++
-		n.FaultDrops++
-		n.TotalDrops++
+		atomic.AddUint64(&n.FaultDrops, 1)
+		atomic.AddUint64(&n.TotalDrops, 1)
 		n.recordFaultDrop(pkt, port)
 		return false
 	}
 	if pkt.Kind == Probe || pkt.Kind == Response {
-		if d.ProbeDropProb > 0 && n.faultRng.Float64() < d.ProbeDropProb {
+		if d.ProbeDropProb > 0 && rng.Float64() < d.ProbeDropProb {
 			port.FaultDrops++
-			n.FaultDrops++
-			n.TotalDrops++
+			atomic.AddUint64(&n.FaultDrops, 1)
+			atomic.AddUint64(&n.TotalDrops, 1)
 			n.recordFaultDrop(pkt, port)
 			return false
 		}
-		if d.ProbeCorruptProb > 0 && len(pkt.Payload) > 0 && n.faultRng.Float64() < d.ProbeCorruptProb {
+		if d.ProbeCorruptProb > 0 && len(pkt.Payload) > 0 && rng.Float64() < d.ProbeCorruptProb {
 			b := make([]byte, len(pkt.Payload))
 			copy(b, pkt.Payload)
-			i := n.faultRng.Intn(len(b))
-			b[i] ^= 1 << uint(n.faultRng.Intn(8))
+			i := rng.Intn(len(b))
+			b[i] ^= 1 << uint(rng.Intn(8))
 			pkt.Payload = b
-			n.CorruptedProbes++
-			if n.rec != nil {
-				n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvFault,
+			atomic.AddUint64(&n.CorruptedProbes, 1)
+			if rec := n.recAt(port.Link.Src); rec != nil {
+				rec.Record(telemetry.Event{T: int64(n.schedAt(port.Link.Src).Now()), Kind: telemetry.EvFault,
 					Entity: n.linkEnt(port.Link.ID), A: int64(pkt.Kind), Note: "probe_corrupt"})
 			}
 		}
@@ -167,11 +173,12 @@ func (n *Network) faultFilter(pkt *Packet, port *Port) bool {
 }
 
 // recordFaultDrop traces a fault-induced packet loss (no-op without a
-// recorder).
+// recorder), into the link-source shard's recorder.
 func (n *Network) recordFaultDrop(pkt *Packet, port *Port) {
-	if n.rec == nil {
+	rec := n.recAt(port.Link.Src)
+	if rec == nil {
 		return
 	}
-	n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvDrop,
+	rec.Record(telemetry.Event{T: int64(n.schedAt(port.Link.Src).Now()), Kind: telemetry.EvDrop,
 		Entity: n.linkEnt(port.Link.ID), A: int64(pkt.Kind), Note: "fault"})
 }

@@ -33,7 +33,7 @@ func newUFABNet(eng *sim.Engine, g *topo.Graph, seed int64, prime bool, reg *tel
 	return &ufabNet{f: vfabric.New(eng, g, cfg), conns: map[connKey]*workload.Messages{}}
 }
 
-func (n *ufabNet) Engine() *sim.Engine { return n.f.Eng }
+func (n *ufabNet) Engine() sim.Scheduler { return n.f.Eng }
 
 func (n *ufabNet) Dial(vf int32, tokens float64, src, dst topo.NodeID) *workload.Messages {
 	key := connKey{vf, src, dst}
@@ -65,7 +65,7 @@ func newBaselineNet(eng *sim.Engine, g *topo.Graph, sc blhost.Scheme, seed int64
 	}
 }
 
-func (n *baselineNet) Engine() *sim.Engine { return n.bl.Eng }
+func (n *baselineNet) Engine() sim.Scheduler { return n.bl.Eng }
 
 func (n *baselineNet) Dial(vf int32, tokens float64, src, dst topo.NodeID) *workload.Messages {
 	key := connKey{vf, src, dst}

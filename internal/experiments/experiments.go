@@ -56,6 +56,14 @@ type Options struct {
 	// is a pure observer — headline metrics and golden comparison are
 	// unaffected. Excluded from the golden encoding.
 	Audit bool `json:"-"`
+	// Shards selects the μFAB simulation's execution mode: 0 runs each
+	// fabric sequentially (through per-shard views of one engine), N >= 1
+	// runs it on the sharded parallel-in-time core with N workers. Results
+	// are bit-identical for every value — metrics, snapshots and traces —
+	// which `check -shards N` and the shard-identity tests enforce. The
+	// baseline already records with it zero, so the field is omitted from
+	// golden_metrics.json.
+	Shards int `json:"shards,omitempty"`
 }
 
 // fabricTelemetry returns the registry a fabric under test should attach
@@ -229,6 +237,7 @@ var All = []Entry{
 	{"fig20", "Heterogeneous response delays: 128-to-1 convergence", Fig20},
 	{"tab3", "uFAB-E FPGA resource consumption model", Table3},
 	{"tab4", "uFAB-C switch resource consumption model", Table4},
+	{"shardsim", "sharded parallel-in-time core: cross-pod workload identity", ShardSim},
 }
 
 // Find returns the entry with the given id, or nil.
@@ -271,8 +280,12 @@ func (s scheme) String() string {
 // the comparative experiments.
 type system struct {
 	scheme scheme
-	eng    *sim.Engine
-	graph  *topo.Graph
+	// eng drives the deployment's simulation and doubles as the
+	// coordinator scheduling context: experiment timelines (workload
+	// feeders, chaos, samplers) scheduled here run at global barriers with
+	// exclusive access to fabric state in every execution mode.
+	eng   sim.Driver
+	graph *topo.Graph
 
 	uf *vfabric.Fabric
 	bl *blhost.Fabric
@@ -334,24 +347,47 @@ func (h *flowHandle) delivered() int64 {
 	return h.blFlow.Flow.Delivered
 }
 
-// newSystem builds a deployment of the given scheme over g. A non-nil
-// reg attaches the run's telemetry registry: the full fabric for μFAB
-// schemes, the dataplane link instruments for baselines. A non-nil aud
-// additionally attaches the predictability auditor to μFAB schemes
-// (baselines make no μFAB guarantees to audit).
-func newSystem(s scheme, eng *sim.Engine, g *topo.Graph, seed int64, reg *telemetry.Registry, aud *audit.Config) *system {
-	sys := &system{scheme: s, eng: eng, graph: g}
+// newSystem builds a deployment of the given scheme over g, with its own
+// private simulation driver. A non-nil reg attaches the run's telemetry
+// registry: the full fabric for μFAB schemes, the dataplane link
+// instruments for baselines. A non-nil aud additionally attaches the
+// predictability auditor to μFAB schemes (baselines make no μFAB
+// guarantees to audit). μFAB schemes honor o.Shards through
+// vfabric.Build; baselines always run sequentially (their results don't
+// depend on the μFAB execution mode).
+func newSystem(s scheme, o Options, g *topo.Graph, seed int64, reg *telemetry.Registry, aud *audit.Config) *system {
+	sys := &system{scheme: s, graph: g}
 	switch s {
 	case schemeUFAB, schemeUFABPrime:
 		cfg := vfabric.Config{Seed: seed, Telemetry: reg, Audit: aud}
 		cfg.Edge.DisableTwoStage = s == schemeUFABPrime
-		sys.uf = vfabric.New(eng, g, cfg)
+		uf, err := vfabric.Build(vfabric.BuildOptions{Graph: g, Cfg: cfg, Shards: o.Shards})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		sys.uf = uf
+		sys.eng = uf.Eng
 	case schemePWC:
+		eng := sim.New()
+		sys.eng = eng
 		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.PWC, Seed: seed}, dataplane.Config{Telemetry: reg})
 	case schemeES:
+		eng := sim.New()
+		sys.eng = eng
 		sys.bl = blhost.NewFabric(eng, g, blhost.Config{Scheme: blhost.ESClove, Seed: seed}, dataplane.Config{Telemetry: reg})
 	}
 	return sys
+}
+
+// hostScheduler returns the scheduling context owning a host: per-host
+// workload drivers (as opposed to coordinator-paced feeders) must
+// schedule there so their traffic runs inside the host's shard on the
+// parallel core. Baselines are single-context, so it is their engine.
+func (sys *system) hostScheduler(host topo.NodeID) sim.Scheduler {
+	if sys.uf != nil {
+		return sys.uf.HostScheduler(host)
+	}
+	return sys.eng
 }
 
 // addVF registers a VF (μFAB) — a no-op for baselines, which carry the

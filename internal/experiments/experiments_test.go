@@ -25,7 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
 		"tab3", "tab4", "abl", "flap", "gray", "restart", "churn", "chaoslab",
-		"placecmp", "placechurn", "placesweep", "fuzzlab", "reconcile"}
+		"placecmp", "placechurn", "placesweep", "fuzzlab", "reconcile",
+		"shardsim"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(All), len(want))
 	}

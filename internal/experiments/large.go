@@ -17,7 +17,7 @@ import (
 )
 
 // aggMeter samples the aggregate delivered rate of a flow set.
-func aggMeter(eng *sim.Engine, flows []*flowHandle, interval sim.Duration) *stats.RateMeter {
+func aggMeter(eng sim.Scheduler, flows []*flowHandle, interval sim.Duration) *stats.RateMeter {
 	m := stats.NewRateMeter("agg", interval)
 	var last int64
 	eng.Every(interval, func() {
@@ -45,9 +45,9 @@ func Fig16(o Options) *Report {
 	}
 	period := 4 * sim.Millisecond
 	for _, sc := range []scheme{schemePWC, schemeES, schemeUFABPrime, schemeUFAB} {
-		eng := sim.New()
 		st := topo.NewStar(n+1, topo.Gbps(100), 2*sim.Microsecond)
-		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+		sys := newSystem(sc, o, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+		eng := sys.eng
 		var flows []*flowHandle
 		for i := 0; i < n; i++ {
 			fh := sys.addFlow(int32(i+1), 1e9, st.Hosts[i], st.Hosts[n])
@@ -139,15 +139,21 @@ func Fig17(o Options) *Report {
 			offsets[k] = 1 + hostsRng.Intn(nHosts-1)
 		}
 		for _, sc := range []scheme{schemePWC, schemeES, schemeUFAB} {
-			eng := sim.New()
 			cl := topo.NewClos(cell.clos)
-			sys := newSystem(sc, eng, cl.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+			sys := newSystem(sc, o, cl.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+			eng := sys.eng
 			dist := workload.WebSearch()
 			type pairState struct {
 				msgs      *workload.Messages
 				guarantee float64
 				offered   int64
 				fh        *flowHandle
+				// Per-pair slowdown accumulators: completion callbacks run
+				// in the source host's shard, so each pair writes only its
+				// own samples and the run-wide aggregation happens after
+				// the horizon, in pair order.
+				slow stats.Samples
+				bins map[string]*stats.Samples
 			}
 			var pairs []*pairState
 			var slow, rttAgg stats.Samples
@@ -163,16 +169,17 @@ func Fig17(o Options) *Report {
 					// Flows are independent entities sharing the pair's
 					// allocation, not a FIFO behind one another.
 					msgs.Sharing = true
-					ps := &pairState{msgs: msgs, guarantee: guarantee, fh: fh}
+					ps := &pairState{msgs: msgs, guarantee: guarantee, fh: fh,
+						bins: map[string]*stats.Samples{}}
 					pairs = append(pairs, ps)
 					msgs.OnComplete = func(m workload.Message, fct sim.Duration) {
 						sd := stats.Slowdown(fct, int(m.Size), guarantee)
-						slow.Add(sd)
+						ps.slow.Add(sd)
 						bin := sizeBin(m.Size)
-						if binsAvg[bin] == nil {
-							binsAvg[bin] = &stats.Samples{}
+						if ps.bins[bin] == nil {
+							ps.bins[bin] = &stats.Samples{}
 						}
-						binsAvg[bin].Add(sd)
+						ps.bins[bin].Add(sd)
 					}
 					stopArrivals := workload.Poisson(eng, newRand(o.Seed+int64(vfID)), dist, perPairLoad,
 						func(size int64, now sim.Time) {
@@ -185,6 +192,15 @@ func Fig17(o Options) *Report {
 				}
 			}
 			eng.RunUntil(dur)
+			for _, ps := range pairs {
+				slow.AddAll(&ps.slow)
+				for bin, s := range ps.bins {
+					if binsAvg[bin] == nil {
+						binsAvg[bin] = &stats.Samples{}
+					}
+					binsAvg[bin].AddAll(s)
+				}
+			}
 			// Dissatisfaction: owed = min(offered rate, guarantee).
 			cutoff := (dur * 3 / 4).Seconds()
 			var achieved, owed, demand []float64

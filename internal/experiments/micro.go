@@ -33,9 +33,9 @@ func Fig4(o Options) *Report {
 	base := 0.0
 	for _, sc := range []scheme{schemePWC, schemeUFAB} {
 		for _, n := range degrees {
-			eng := sim.New()
 			st := topo.NewStar(n+1, topo.Gbps(10), 5*sim.Microsecond)
-			sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+			sys := newSystem(sc, o, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+			eng := sys.eng
 			var flows []*flowHandle
 			for i := 0; i < n; i++ {
 				fh := sys.addFlow(int32(i+1), 500e6, st.Hosts[i], st.Hosts[n])
@@ -252,9 +252,9 @@ func Fig11(o Options) *Report {
 	}
 	classes := []float64{1e9, 2e9, 5e9}
 	for _, sc := range []scheme{schemeUFAB, schemePWC, schemeES} {
-		eng := sim.New()
 		tb := topo.NewTestbed(topo.TestbedConfig{})
-		sys := newSystem(sc, eng, tb.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+		sys := newSystem(sc, o, tb.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+		eng := sys.eng
 		type vfFlow struct {
 			fh        *flowHandle
 			guarantee float64
@@ -330,9 +330,9 @@ func Fig12(o Options) *Report {
 		dur = 10 * sim.Millisecond
 	}
 	for _, sc := range []scheme{schemePWC, schemeES, schemeUFABPrime, schemeUFAB} {
-		eng := sim.New()
 		st := topo.NewStar(n+1, topo.Gbps(10), 5*sim.Microsecond)
-		sys := newSystem(sc, eng, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+		sys := newSystem(sc, o, st.Graph, o.Seed, o.fabricTelemetry(r), o.fabricAudit(r))
+		eng := sys.eng
 		var flows []*flowHandle
 		for i := 0; i < n; i++ {
 			fh := sys.addFlow(int32(i+1), 500e6, st.Hosts[i], st.Hosts[n])

@@ -56,16 +56,17 @@ var telemetryIDs = []string{"fig4", "fig15", "flap"}
 
 // snapshotAndTrace renders a run's full registry snapshot and flight
 // recorder as bytes, the exact forms `ufabsim -metrics` and `ufabsim
-// trace` export.
+// trace` export (the trace is the canonical merge across the run's
+// per-shard recorders, which degenerates to the base recorder's stream
+// for single-recorder runs).
 func snapshotAndTrace(t *testing.T, r *Report) (string, string) {
 	t.Helper()
 	var snap, trace strings.Builder
 	r.Reg.Snapshot().WriteJSON(&snap)
-	rec := r.Reg.Recorder()
-	if rec == nil {
+	if r.Reg.Recorder() == nil {
 		t.Fatalf("%s: no flight recorder attached", r.ID)
 	}
-	if err := rec.WriteJSONL(&trace); err != nil {
+	if err := r.Reg.WriteTraceJSONL(&trace); err != nil {
 		t.Fatal(err)
 	}
 	return snap.String(), trace.String()

@@ -155,7 +155,13 @@ func (x *Executor) execOnce(c *Case) (out runOut) {
 	cfg := vfabric.Config{Seed: c.Seed, Telemetry: reg,
 		Audit: &audit.Config{Log: log, HoldTicks: hold}}
 	cfg.Core.CleanupPeriod = c.HorizonPS / 8
-	f := vfabric.New(eng, g, cfg)
+	// Built through the shared construction path so fuzzing exercises the
+	// same partitioned dataplane the experiments and daemon run on; the
+	// provided engine keeps execution sequential (and digests replayable).
+	f, err := vfabric.Build(vfabric.BuildOptions{Graph: g, Cfg: cfg, Eng: eng})
+	if err != nil {
+		panic(err)
+	}
 	f.StartCoreCleanup()
 	ctl := placement.NewController(eng, g, f, placement.Config{
 		Policy:       placement.Spread{},

@@ -76,7 +76,7 @@ type Config struct {
 // check accepts or rejects, and accepted tenants materialize through the
 // Materializer. It must run on the simulation engine's goroutine.
 type Controller struct {
-	eng    *sim.Engine
+	eng    sim.Scheduler
 	g      *topo.Graph
 	cfg    Config
 	ledger *Ledger
@@ -104,7 +104,7 @@ type queued struct {
 
 // NewController builds the control plane over the graph. mat may be nil
 // (ledger-only operation — admitted tenants exist on paper only).
-func NewController(eng *sim.Engine, g *topo.Graph, mat Materializer, cfg Config) *Controller {
+func NewController(eng sim.Scheduler, g *topo.Graph, mat Materializer, cfg Config) *Controller {
 	if cfg.Oversubscription == 0 {
 		cfg.Oversubscription = 1.0
 	}

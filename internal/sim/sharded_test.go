@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// simCore abstracts the two execution modes of a logically sharded
+// simulation: the parallel Sharded driver, and a single sequential Engine
+// driven through per-shard views. The harness runs identically on both,
+// which is the bit-identity claim at the core level.
+type simCore interface {
+	Shard(i int) Scheduler
+	Send(src, dst int, d Duration, fn Event)
+	Window() Duration
+	Run() Time
+	RunUntil(deadline Time) Time
+}
+
+// seqCore is the sequential realization: one engine stamped as coordinator,
+// one view per logical shard, cross-shard sends degenerating to a local
+// After under the source view's stamp.
+type seqCore struct {
+	e      *Engine
+	views  []Scheduler
+	window Duration
+}
+
+func newSeqCore(ns int, window Duration) *seqCore {
+	if window <= 0 {
+		window = noCutWindow
+	}
+	c := &seqCore{e: New(), window: window, views: make([]Scheduler, ns)}
+	c.e.SetSrc(uint32(ns))
+	for i := range c.views {
+		c.views[i] = c.e.ShardView(uint32(i))
+	}
+	return c
+}
+
+func (c *seqCore) Shard(i int) Scheduler                   { return c.views[i] }
+func (c *seqCore) Send(src, dst int, d Duration, fn Event) { c.views[src].After(d, fn) }
+func (c *seqCore) Window() Duration                        { return c.window }
+func (c *seqCore) Run() Time                               { return c.e.Run() }
+func (c *seqCore) RunUntil(deadline Time) Time             { return c.e.RunUntil(deadline) }
+
+// shardedHarness builds a little message-passing simulation over ns shards:
+// each shard runs a deterministic RNG-driven loop that does local work and
+// occasionally sends an event to another shard with at least minDelay of
+// latency. Every executed event appends to its shard's log, so two runs are
+// behaviorally identical iff the per-shard logs match.
+type shardedHarness struct {
+	s    simCore
+	logs [][]string
+	rngs []*rand.Rand
+}
+
+func newHarnessOn(core simCore, ns int, seed int64) *shardedHarness {
+	h := &shardedHarness{
+		s:    core,
+		logs: make([][]string, ns),
+		rngs: make([]*rand.Rand, ns),
+	}
+	for i := 0; i < ns; i++ {
+		h.rngs[i] = rand.New(rand.NewSource(seed ^ int64(i)<<16))
+	}
+	return h
+}
+
+func newShardedHarness(ns, workers int, minDelay Duration, seed int64) *shardedHarness {
+	s := NewSharded(ns, workers, minDelay)
+	for i := 0; i < ns; i++ {
+		for j := 0; j < ns; j++ {
+			if i != j {
+				s.Connect(i, j)
+			}
+		}
+	}
+	return newHarnessOn(s, ns, seed)
+}
+
+// hop logs one step on shard id and, while steps remain, schedules the next
+// step locally or on a random peer.
+func (h *shardedHarness) hop(id, steps int) {
+	sch := h.s.Shard(id)
+	h.logs[id] = append(h.logs[id], fmt.Sprintf("%d@%v", steps, sch.Now()))
+	if steps <= 0 {
+		return
+	}
+	r := h.rngs[id]
+	if len(h.rngs) > 1 && r.Intn(3) == 0 {
+		peer := r.Intn(len(h.rngs) - 1)
+		if peer >= id {
+			peer++
+		}
+		d := h.s.Window() + Duration(r.Intn(5000))*Nanosecond
+		h.s.Send(id, peer, d, func() { h.hop(peer, steps-1) })
+		return
+	}
+	sch.After(Duration(1+r.Intn(900))*Nanosecond, func() { h.hop(id, steps-1) })
+}
+
+func (h *shardedHarness) seed(ns int) {
+	for i := 0; i < ns; i++ {
+		id := i
+		h.s.Shard(id).At(Time(id)*Nanosecond, func() { h.hop(id, 40) })
+	}
+}
+
+func runHarness(ns, workers int, seed int64) ([][]string, Time) {
+	h := newShardedHarness(ns, workers, Microsecond, seed)
+	h.seed(ns)
+	end := h.s.Run()
+	return h.logs, end
+}
+
+// TestShardedWorkerCountIndependence is the core determinism claim: the
+// per-shard event sequences must be byte-identical no matter how many
+// workers execute the logical shards.
+func TestShardedWorkerCountIndependence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		ref, refEnd := runHarness(5, 1, seed)
+		for _, workers := range []int{2, 3, 5} {
+			got, end := runHarness(5, workers, seed)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d: logs differ between 1 and %d workers:\n1: %v\n%d: %v",
+					seed, workers, ref, workers, got)
+			}
+			if refEnd != end {
+				t.Fatalf("seed %d: final time %v (1 worker) vs %v (%d workers)", seed, refEnd, end, workers)
+			}
+		}
+	}
+}
+
+// TestSequentialViewsMatchSharded is the cross-mode bit-identity claim: one
+// sequential Engine driven through per-shard views executes the exact same
+// event sequence as the parallel core, for any worker count, because both
+// order every event by the same (at, schedAt, src, seq) key.
+func TestSequentialViewsMatchSharded(t *testing.T) {
+	const ns = 5
+	for _, seed := range []int64{1, 4, 9} {
+		hs := newHarnessOn(newSeqCore(ns, Microsecond), ns, seed)
+		hs.seed(ns)
+		ref := hs.s.Run()
+		for _, workers := range []int{1, 3, 5} {
+			got, end := runHarness(ns, workers, seed)
+			if !reflect.DeepEqual(hs.logs, got) {
+				t.Fatalf("seed %d: sequential views diverged from %d workers:\nseq:     %v\nsharded: %v",
+					seed, workers, hs.logs, got)
+			}
+			if ref != end {
+				t.Fatalf("seed %d: final time %v (sequential) vs %v (%d workers)", seed, ref, end, workers)
+			}
+		}
+	}
+}
+
+// TestShardedRunUntilMatchesRun pins that windowed RunUntil epochs reach the
+// same state as a single drain, and that the clock lands on the deadline.
+func TestShardedRunUntilMatchesRun(t *testing.T) {
+	ref, _ := runHarness(4, 2, 3)
+
+	h := newShardedHarness(4, 2, Microsecond, 3)
+	for i := 0; i < 4; i++ {
+		id := i
+		h.s.Shard(id).At(Time(id)*Nanosecond, func() { h.hop(id, 40) })
+	}
+	for d := 5 * Microsecond; d <= 500*Microsecond; d += 5 * Microsecond {
+		if got := h.s.RunUntil(d); got != d {
+			t.Fatalf("RunUntil(%v) = %v", d, got)
+		}
+	}
+	if !reflect.DeepEqual(ref, h.logs) {
+		t.Fatalf("chunked RunUntil diverged from Run:\nrun:   %v\nchunk: %v", ref, h.logs)
+	}
+}
+
+// TestShardedGlobalBarrier checks coordinator events interleave with shard
+// events exactly by the documented key order: a global tick at time T runs
+// after every shard event with time < T (and those scheduled earlier at T)
+// and observes all their state.
+func TestShardedGlobalBarrier(t *testing.T) {
+	s := NewSharded(3, 3, Microsecond)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				s.Connect(i, j)
+			}
+		}
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		id := i
+		// 10 local events per shard, every 300ns starting at 300ns.
+		var step func()
+		n := 0
+		step = func() {
+			counts[id]++
+			if n++; n < 10 {
+				s.Shard(id).After(300*Nanosecond, step)
+			}
+		}
+		s.Shard(id).After(300*Nanosecond, step)
+	}
+	var samples []int
+	stop := s.Every(Microsecond, func() {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		samples = append(samples, total)
+	})
+	s.RunUntil(4 * Microsecond)
+	stop()
+	// At each μs boundary every shard has fired floor(T/300ns) of its 10
+	// events: 3, 6, 9, 10 → totals 9, 18, 27, 30.
+	want := []int{9, 18, 27, 30}
+	if !reflect.DeepEqual(samples, want) {
+		t.Fatalf("barrier samples = %v, want %v", samples, want)
+	}
+}
+
+// TestShardedCrossShardBelowWindowPanics pins the lookahead guard.
+func TestShardedCrossShardBelowWindowPanics(t *testing.T) {
+	s := NewSharded(2, 1, Microsecond)
+	s.Connect(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-window cross-shard send did not panic")
+		}
+	}()
+	s.Send(0, 1, 500*Nanosecond, func() {})
+}
+
+// TestShardedSingleShardDegenerates checks the no-cut configuration: one
+// shard, no window bound, plain sequential behavior.
+func TestShardedSingleShardDegenerates(t *testing.T) {
+	s := NewSharded(1, 4, 0)
+	var order []Time
+	sch := s.Shard(0)
+	sch.At(3*Microsecond, func() { order = append(order, sch.Now()) })
+	sch.At(Microsecond, func() {
+		order = append(order, sch.Now())
+		sch.After(500*Nanosecond, func() { order = append(order, sch.Now()) })
+	})
+	end := s.Run()
+	want := []Time{Microsecond, 1500 * Nanosecond, 3 * Microsecond}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if end != 3*Microsecond {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+// TestShardedStats checks the aggregate counters are sums over components.
+func TestShardedStats(t *testing.T) {
+	logs, _ := runHarness(3, 2, 9)
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	h := newShardedHarness(3, 2, Microsecond, 9)
+	for i := 0; i < 3; i++ {
+		id := i
+		h.s.Shard(id).At(Time(id)*Nanosecond, func() { h.hop(id, 40) })
+	}
+	h.s.Run()
+	if got := h.s.(*Sharded).Stats().Processed; got != uint64(total) {
+		t.Fatalf("Processed = %d, want %d logged events", got, total)
+	}
+}

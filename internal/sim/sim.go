@@ -64,6 +64,50 @@ func DurationFromSeconds(s float64) Duration { return Duration(s * float64(Secon
 // Event is a callback scheduled to run at a specific simulated time.
 type Event func()
 
+// Scheduler is the clock-and-timer surface agents program against. Both the
+// sequential *Engine and the per-shard engines of the sharded core satisfy
+// it, so agent code is indifferent to which clock it runs on. Callers must
+// only invoke a Scheduler from the goroutine that executes its events (for a
+// shard-local scheduler, that shard's worker; for the sharded coordinator,
+// the barrier goroutine).
+type Scheduler interface {
+	// Now returns the current simulated time.
+	Now() Time
+	// At schedules fn at absolute time t; t < Now panics.
+	At(t Time, fn Event) Handle
+	// After schedules fn at Now+d; negative d panics.
+	After(d Duration, fn Event) Handle
+	// Cancel deschedules a pending event; stale handles are safe no-ops.
+	Cancel(h Handle) bool
+	// Every runs fn periodically until the returned stop is called.
+	Every(period Duration, fn Event) (stop func())
+	// Stop makes the driving Run/RunUntil return after the current event.
+	Stop()
+}
+
+// Driver is the run-loop surface owned by whoever drives the simulation
+// forward (experiments, the fuzz executor, the control-plane daemon). Both
+// *Engine and *Sharded satisfy it.
+type Driver interface {
+	Scheduler
+	// Run executes events until the queue drains or Stop is called.
+	Run() Time
+	// RunUntil executes events with time ≤ deadline, then advances the
+	// clock to the deadline.
+	RunUntil(deadline Time) Time
+}
+
+// StatsSource is satisfied by schedulers that can report scheduling
+// statistics; the telemetry flush type-asserts against it.
+type StatsSource interface {
+	Stats() EngineStats
+}
+
+var (
+	_ Driver      = (*Engine)(nil)
+	_ StatsSource = (*Engine)(nil)
+)
+
 // Handle identifies a scheduled event so it can be cancelled. The zero
 // Handle is invalid. Handles are generation-checked: once the event fires
 // or is cancelled, the handle goes stale and every operation on it is a
@@ -90,16 +134,29 @@ func (h Handle) Valid() bool {
 // gen increments whenever the slot's event fires or is cancelled, which
 // invalidates all outstanding Handles to it.
 type eventSlot struct {
-	at        Time
-	seq       uint64 // FIFO tie-break for equal times
+	at Time
+	// schedAt is the simulated time at which the event was scheduled, and
+	// src the shard that scheduled it (0 outside the sharded core). They
+	// extend the ordering key so cross-shard handoffs sort independently
+	// of worker interleaving; see slotOrder.
+	schedAt   Time
+	seq       uint64 // FIFO tie-break for equal (at, schedAt, src)
+	src       uint32
 	fn        Event
 	gen       uint32
 	cancelled bool
 	nextFree  int32 // free-list link, 1-based; 0 terminates
 }
 
-// slotOrder compares heap entries (arena indices) by time, then FIFO
-// sequence. It is a value type so the generic heap calls devirtualize.
+// slotOrder compares heap entries (arena indices) by the full event key
+// (at, schedAt, src, seq). For a plain sequential Engine this is provably
+// the classic (at, seq) FIFO order: src is constant and seq increases
+// monotonically with scheduling time, so schedAt never reorders equal-time
+// events. The extra components only matter in the sharded core, where seq
+// counters are per-shard: schedAt and src make the key a total order over
+// events from different shards that is independent of how shard engines are
+// interleaved onto workers. slotOrder is a value type so the generic heap
+// calls devirtualize.
 type slotOrder struct {
 	slots []eventSlot
 }
@@ -108,6 +165,12 @@ func (o slotOrder) Less(a, b int32) bool {
 	sa, sb := &o.slots[a], &o.slots[b]
 	if sa.at != sb.at {
 		return sa.at < sb.at
+	}
+	if sa.schedAt != sb.schedAt {
+		return sa.schedAt < sb.schedAt
+	}
+	if sa.src != sb.src {
+		return sa.src < sb.src
 	}
 	return sa.seq < sb.seq
 }
@@ -118,10 +181,14 @@ func (o slotOrder) Less(a, b int32) bool {
 type Engine struct {
 	now     Time
 	seq     uint64
+	src     uint32      // shard ID stamped on locally scheduled events
 	slots   []eventSlot // event arena
 	free    int32       // free-list head, 1-based; 0 = empty
 	queue   []int32     // 4-ary heap of arena indices
 	stopped bool
+	// maxSched is the latest time any event was ever scheduled for;
+	// monotone. The sharded driver uses it to bound drain-to-empty epochs.
+	maxSched Time
 	// Processed counts events executed so far; useful for runaway
 	// detection in tests.
 	Processed   uint64
@@ -191,12 +258,26 @@ func (e *Engine) At(t Time, fn Event) Handle {
 	if fn == nil {
 		panic("sim: nil event")
 	}
+	h := e.push(t, e.now, e.src, e.seq, fn)
+	e.seq++
+	return h
+}
+
+// push allocates a slot with an explicit ordering key and heaps it. Local
+// scheduling goes through At (key components derived from the engine);
+// cross-shard injection supplies the sender's key so the receiving heap
+// orders the event exactly as the sender stamped it.
+func (e *Engine) push(at, schedAt Time, src uint32, seq uint64, fn Event) Handle {
 	idx := e.alloc()
 	s := &e.slots[idx]
-	s.at = t
-	s.seq = e.seq
+	s.at = at
+	s.schedAt = schedAt
+	s.src = src
+	s.seq = seq
 	s.fn = fn
-	e.seq++
+	if at > e.maxSched {
+		e.maxSched = at
+	}
 	e.queue = quadPush(slotOrder{e.slots}, e.queue, idx)
 	if len(e.queue) > e.peakPending {
 		e.peakPending = len(e.queue)
@@ -292,12 +373,15 @@ func (e *Engine) RunUntil(deadline Time) Time {
 
 // Every schedules fn to run periodically with the given period, starting at
 // now+period, until the returned stop function is called. A non-positive
-// period panics.
+// period panics. stop is idempotent: the first call cancels the outstanding
+// tick and descheds the loop; further calls are no-ops even if the engine
+// has since reused the tick's arena slot.
 func (e *Engine) Every(period Duration, fn Event) (stop func()) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
 	stopped := false
+	var next Handle
 	var tick func()
 	tick = func() {
 		if stopped {
@@ -305,18 +389,33 @@ func (e *Engine) Every(period Duration, fn Event) (stop func()) {
 		}
 		fn()
 		if !stopped {
-			e.After(period, tick)
+			next = e.After(period, tick)
 		}
 	}
-	e.After(period, tick)
-	return func() { stopped = true }
+	next = e.After(period, tick)
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		e.Cancel(next)
+	}
 }
 
 // PendingTimes returns the scheduled times of up to n pending events, in
 // no particular order. It is a diagnostic aid for finding event leaks.
+//
+// Contract: n is clamped to the number of queued entries (n ≤ Pending()), so
+// passing a larger n is safe and returns every pending time; negative n is
+// treated as zero. Cancelled-but-unpopped entries count against the n
+// inspected slots but are not reported, so the result can be shorter than
+// min(n, Pending()).
 func (e *Engine) PendingTimes(n int) []Time {
 	if n > len(e.queue) {
 		n = len(e.queue)
+	}
+	if n < 0 {
+		n = 0
 	}
 	out := make([]Time, 0, n)
 	for _, idx := range e.queue[:n] {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -397,5 +398,86 @@ func TestPendingTimes(t *testing.T) {
 	}
 	if got := e.PendingTimes(0); len(got) != 0 {
 		t.Fatalf("PendingTimes(0) = %v", got)
+	}
+}
+
+// TestPendingTimesContract pins the documented n≤Pending clamp: n beyond
+// the queue length returns every pending time, and negative n is treated as
+// zero instead of panicking on a negative allocation.
+func TestPendingTimesContract(t *testing.T) {
+	e := New()
+	for i := 1; i <= 3; i++ {
+		e.At(Time(i)*Nanosecond, func() {})
+	}
+	if got := e.PendingTimes(1 << 20); len(got) != 3 {
+		t.Fatalf("PendingTimes(huge) = %v, want all 3", got)
+	}
+	if got := e.PendingTimes(-5); len(got) != 0 {
+		t.Fatalf("PendingTimes(-5) = %v, want empty", got)
+	}
+}
+
+// TestEveryStopIdempotent pins the redesigned stop: the first call cancels
+// the outstanding tick (no dead event left in the queue), and calling it
+// again — even after the arena slot has been reused by fresh events — stays
+// a harmless no-op that cannot touch the new occupant.
+func TestEveryStopIdempotent(t *testing.T) {
+	e := New()
+	n := 0
+	stop := e.Every(10*Nanosecond, func() { n++ })
+	e.RunUntil(25 * Nanosecond)
+	if n != 2 {
+		t.Fatalf("ticks before stop = %d, want 2", n)
+	}
+	stop()
+	if got := len(e.PendingTimes(10)); got != 0 {
+		t.Fatalf("stop left %d live events queued", got)
+	}
+	// Reuse the freed slot, then double-stop: the new event must survive.
+	fired := false
+	e.At(40*Nanosecond, func() { fired = true })
+	stop()
+	stop()
+	e.Run()
+	if !fired {
+		t.Fatal("double-stop cancelled an unrelated event that reused the slot")
+	}
+	if n != 2 {
+		t.Fatalf("ticks after stop = %d, want 2", n)
+	}
+}
+
+// TestSchedulerConformance pins that both engines satisfy the Scheduler
+// contract through the interface, so consumers can be migrated type-only.
+func TestSchedulerConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() (Scheduler, Driver)
+	}{
+		{"engine", func() (Scheduler, Driver) { e := New(); return e, e }},
+		{"sharded-coordinator", func() (Scheduler, Driver) {
+			sh := NewSharded(2, 1, Microsecond)
+			return sh, sh
+		}},
+		{"shard-local", func() (Scheduler, Driver) {
+			sh := NewSharded(2, 1, Microsecond)
+			return sh.Shard(0), sh
+		}},
+	} {
+		s, driver := tc.build()
+		var order []string
+		h := s.At(5*Nanosecond, func() { order = append(order, "cancelled") })
+		s.After(2*Nanosecond, func() { order = append(order, "a") })
+		s.At(2*Nanosecond, func() { order = append(order, "b") })
+		if !s.Cancel(h) {
+			t.Fatalf("%s: Cancel = false", tc.name)
+		}
+		stop := s.Every(3*Nanosecond, func() { order = append(order, "tick") })
+		s.At(7*Nanosecond, func() { stop() })
+		driver.Run()
+		want := []string{"a", "b", "tick", "tick"}
+		if !reflect.DeepEqual(order, want) {
+			t.Errorf("%s: order = %v, want %v", tc.name, order, want)
+		}
 	}
 }

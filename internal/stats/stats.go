@@ -25,6 +25,15 @@ func (s *Samples) Add(x float64) {
 	s.sorted = false
 }
 
+// AddAll appends every observation of other (which is left untouched).
+func (s *Samples) AddAll(other *Samples) {
+	if other.Len() == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
 // Len returns the number of observations.
 func (s *Samples) Len() int { return len(s.xs) }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -177,6 +178,110 @@ func (r *Recorder) Events() []Event {
 	out = append(out, r.buf[r.start:]...)
 	out = append(out, r.buf[:r.start]...)
 	return out
+}
+
+// EventsSince returns the events recorded after the first n, oldest first.
+// Events the ring has already evicted are silently absent (callers that
+// need a complete view size the ring accordingly). The slice is freshly
+// allocated.
+func (r *Recorder) EventsSince(n uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	evicted := r.total - uint64(len(r.buf))
+	if n < evicted {
+		n = evicted
+	}
+	if n >= r.total {
+		return nil
+	}
+	all := r.Events()
+	return all[n-evicted:]
+}
+
+// EventBefore is the canonical content order used to merge per-shard
+// flight-recorder streams into one trace: time first, then the event's
+// fields in declaration order. It is a pure function of event content, so a
+// merged trace is independent of how the simulation was sharded onto
+// workers.
+func EventBefore(a, b Event) bool {
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Entity != b.Entity {
+		return a.Entity < b.Entity
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	return a.Note < b.Note
+}
+
+// SortEventsCanonical stable-sorts events into the EventBefore order.
+// Stability makes ties (fully identical events) keep their input order, so
+// callers that concatenate shard streams in shard order get a fully
+// deterministic result.
+func SortEventsCanonical(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return EventBefore(evs[i], evs[j]) })
+}
+
+// TraceEvents returns the run's full retained trace, oldest first: the base
+// recorder's events for sequential runs, or the canonical merge of the base
+// and every per-shard recorder for sharded runs.
+func (r *Registry) TraceEvents() []Event {
+	if r == nil {
+		return nil
+	}
+	if len(r.shardRecs) == 0 {
+		return r.rec.Events()
+	}
+	var all []Event
+	all = append(all, r.rec.Events()...)
+	for _, sr := range r.shardRecs {
+		all = append(all, sr.Events()...)
+	}
+	SortEventsCanonical(all)
+	return all
+}
+
+// TraceTotals sums Total and Dropped across the base recorder and every
+// per-shard recorder, so exporters can report ring completeness for the
+// whole trace rather than one shard's slice of it.
+func (r *Registry) TraceTotals() (total, dropped uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	total, dropped = r.rec.Total(), r.rec.Dropped()
+	for _, sr := range r.shardRecs {
+		total += sr.Total()
+		dropped += sr.Dropped()
+	}
+	return total, dropped
+}
+
+// WriteTraceJSONL writes the run's trace as JSONL: identical to the base
+// recorder's WriteJSONL for sequential runs, and the canonical shard merge
+// for sharded runs. Exporters should prefer this over Recorder().WriteJSONL
+// so they stay correct under `-shards`.
+func (r *Registry) WriteTraceJSONL(w io.Writer) error {
+	if r == nil || r.rec == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, ev := range r.TraceEvents() {
+		WriteEventJSON(bw, ev)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
 }
 
 // WriteJSONL writes the retained events as one JSON object per line,

@@ -164,14 +164,24 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	series   map[string]*Series
 	rec      *Recorder
+	// shardRecs are the per-shard flight recorders of a sharded run:
+	// each simulation shard records into its own ring (single-goroutine,
+	// like the shard engine), and exports merge them canonically. Empty
+	// for sequential runs.
+	shardRecs []*Recorder
+	// activeShard redirects Recorder() during sharded fabric
+	// construction so agents capture their own shard's recorder without
+	// code changes; -1 means the base recorder.
+	activeShard int
 }
 
 // New returns an empty registry (no flight recorder; see EnableRecorder).
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		series:   make(map[string]*Series),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		series:      make(map[string]*Series),
+		activeShard: -1,
 	}
 }
 
@@ -275,11 +285,75 @@ func (r *Registry) EnableRecorder(capEvents int) *Recorder {
 
 // Recorder returns the attached flight recorder, or nil when none (the
 // disabled fast path: recording into a nil recorder is a free no-op).
+// During sharded fabric construction SetActiveShard redirects it to the
+// shard under construction, so per-node agents capture their own shard's
+// recorder.
 func (r *Registry) Recorder() *Recorder {
 	if r == nil {
 		return nil
 	}
+	if r.activeShard >= 0 && r.activeShard < len(r.shardRecs) {
+		return r.shardRecs[r.activeShard]
+	}
 	return r.rec
+}
+
+// EnableShardRecorders attaches n per-shard recorders (in addition to the
+// base recorder, which a sharded run reserves for coordinator-context
+// events such as chaos injections). capEvents <= 0 uses
+// DefaultRecorderCap per shard. Idempotent for the same n; growing or
+// shrinking an existing set panics, since agents already hold pointers.
+func (r *Registry) EnableShardRecorders(n, capEvents int) []*Recorder {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	if capEvents <= 0 {
+		capEvents = DefaultRecorderCap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shardRecs != nil {
+		if len(r.shardRecs) != n {
+			panic(fmt.Sprintf("telemetry: shard recorders already sized %d, want %d", len(r.shardRecs), n))
+		}
+		return r.shardRecs
+	}
+	r.shardRecs = make([]*Recorder, n)
+	for i := range r.shardRecs {
+		r.shardRecs[i] = newRecorder(capEvents)
+	}
+	return r.shardRecs
+}
+
+// ShardRecorder returns shard i's recorder, or the base recorder when no
+// shard recorders are attached (sequential runs) or i is out of range.
+func (r *Registry) ShardRecorder(i int) *Recorder {
+	if r == nil {
+		return nil
+	}
+	if i >= 0 && i < len(r.shardRecs) {
+		return r.shardRecs[i]
+	}
+	return r.rec
+}
+
+// ShardRecorders returns the per-shard recorders (nil for sequential runs).
+func (r *Registry) ShardRecorders() []*Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.shardRecs
+}
+
+// SetActiveShard makes Recorder() return shard i's recorder until the next
+// call; i < 0 restores the base recorder. Construction-time only — it
+// exists so per-node agents built for shard i capture the right recorder
+// without threading shard IDs through every constructor.
+func (r *Registry) SetActiveShard(i int) {
+	if r == nil {
+		return
+	}
+	r.activeShard = i
 }
 
 // Token sanitizes s into one dotted-name segment: lowercased, with

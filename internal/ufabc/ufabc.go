@@ -155,7 +155,7 @@ func (a *Agent) RestartCount() uint64 {
 
 // StartCleanup registers the periodic silent-quit cleanup on the engine
 // and returns a stop function.
-func (a *Agent) StartCleanup(eng *sim.Engine) (stop func()) {
+func (a *Agent) StartCleanup(eng sim.Scheduler) (stop func()) {
 	return eng.Every(a.cfg.CleanupPeriod, func() {
 		cutoff := int64(eng.Now() - a.cfg.CleanupAge)
 		for _, ls := range a.links {

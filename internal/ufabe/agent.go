@@ -154,7 +154,7 @@ type PairConfig struct {
 // Agent is the per-host μFAB-E instance. It implements dataplane.Handler
 // for its host.
 type Agent struct {
-	eng   *sim.Engine
+	eng   sim.Scheduler
 	net   *dataplane.Network
 	graph *topo.Graph
 	host  topo.NodeID
@@ -259,7 +259,7 @@ func (a *Agent) DataBytesCount() uint64 {
 
 // New creates the agent for a host and installs it as the host's packet
 // handler. The host must have exactly one uplink.
-func New(eng *sim.Engine, net *dataplane.Network, host topo.NodeID, cfg Config) *Agent {
+func New(eng sim.Scheduler, net *dataplane.Network, host topo.NodeID, cfg Config) *Agent {
 	cfg.setDefaults()
 	g := net.G
 	if g.Node(host).Kind != topo.Host {

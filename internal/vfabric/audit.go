@@ -5,6 +5,7 @@ import (
 
 	"ufab/internal/audit"
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -24,6 +25,15 @@ type auditState struct {
 	faulty []bool
 	// Per-flow active-route buffers (audit.PairSample.Links).
 	routes [][]int32
+	// Barrier-fed event delivery for partitioned fabrics: instead of a
+	// live subscription (whose delivery order would depend on which shard
+	// recorded first), each tick drains every recorder from its cursor,
+	// merges the batch into canonical order, and replays it into the
+	// auditor. feedRecs[0] is the base (coordinator) recorder, then one
+	// per shard.
+	feedRecs []*telemetry.Recorder
+	cursors  []uint64
+	batch    []telemetry.Event
 }
 
 // initAudit wires the auditor into a freshly assembled fabric. Audit
@@ -71,7 +81,37 @@ func (f *Fabric) initAudit(cfg *Config) {
 		faulty: make([]bool, nLinks),
 	}
 	f.aud.sample.Links = make([]audit.LinkSample, nLinks)
-	cfg.Telemetry.Recorder().Subscribe(f.aud.a.ObserveEvent)
+	if shardRecs := cfg.Telemetry.ShardRecorders(); len(shardRecs) > 0 {
+		f.aud.feedRecs = append(f.aud.feedRecs, cfg.Telemetry.ShardRecorder(-1))
+		f.aud.feedRecs = append(f.aud.feedRecs, shardRecs...)
+		f.aud.cursors = make([]uint64, len(f.aud.feedRecs))
+	} else {
+		cfg.Telemetry.Recorder().Subscribe(f.aud.a.ObserveEvent)
+	}
+}
+
+// feedEvents drains every recorder's new events since the last tick,
+// merges them canonically, and replays them into the auditor. Running at
+// the sampling barrier makes the fed stream a pure function of the
+// simulation state — identical whether the shards executed sequentially
+// or on the parallel core — because the set of events recorded before a
+// barrier is mode-invariant and the merge order is content-defined.
+func (au *auditState) feedEvents() {
+	if au.feedRecs == nil {
+		return
+	}
+	au.batch = au.batch[:0]
+	for i, r := range au.feedRecs {
+		if r == nil {
+			continue
+		}
+		au.batch = append(au.batch, r.EventsSince(au.cursors[i])...)
+		au.cursors[i] = r.Total()
+	}
+	telemetry.SortEventsCanonical(au.batch)
+	for i := range au.batch {
+		au.a.ObserveEvent(au.batch[i])
+	}
 }
 
 // AuditLog returns the findings sink of the fabric's auditor (nil when
@@ -91,6 +131,7 @@ func (f *Fabric) auditTick() {
 	if au == nil {
 		return
 	}
+	au.feedEvents()
 	s := &au.sample
 	s.T = int64(f.Eng.Now())
 

@@ -23,7 +23,7 @@ func (f *Fabric) ApplyScenario(s *chaos.Scenario) *chaos.Injector {
 }
 
 // Engine implements chaos.Target.
-func (f *Fabric) Engine() *sim.Engine { return f.Eng }
+func (f *Fabric) Engine() sim.Scheduler { return f.Eng }
 
 // Network implements chaos.Target.
 func (f *Fabric) Network() *dataplane.Network { return f.Net }

@@ -105,7 +105,13 @@ type Flow struct {
 
 // Fabric is an assembled μFAB deployment.
 type Fabric struct {
-	Eng   *sim.Engine
+	// Eng is the driver of the fabric's simulation: a plain *sim.Engine
+	// for sequential deployments, a *sim.Sharded for the parallel core.
+	// It is also the coordinator scheduling context — experiment-level
+	// timelines (sampling, chaos, tenant churn) schedule here and run at
+	// global barriers with exclusive access to all shards' state. Per-host
+	// traffic must instead schedule on HostScheduler.
+	Eng   sim.Driver
 	Graph *topo.Graph
 	Net   *dataplane.Network
 	Cfg   Config
@@ -120,11 +126,14 @@ type Fabric struct {
 	rng     *rand.Rand
 	vfOrder []int32
 	aud     *auditState
+	// partitioned marks fabrics assembled by Build over a pod partition
+	// (regardless of execution mode); they suppress per-heap gauges whose
+	// values depend on how the event queues are laid out.
+	partitioned bool
 }
 
-// New assembles a fabric over the topology: μFAB-C on every switch (and
-// host unless disabled), μFAB-E on every host.
-func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
+// normalize fills the config's defaults in place.
+func normalize(cfg *Config) {
 	if cfg.CandidatePaths == 0 {
 		cfg.CandidatePaths = 4
 	}
@@ -136,10 +145,28 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
 	}
 	cfg.Edge.Seed = cfg.Seed
 	cfg.Dataplane.Telemetry = cfg.Telemetry
+}
+
+// New assembles a fabric over the topology: μFAB-C on every switch (and
+// host unless disabled), μFAB-E on every host. The whole fabric runs as
+// one scheduling context on eng; Build is the shard-aware constructor.
+func New(eng sim.Driver, g *topo.Graph, cfg Config) *Fabric {
+	normalize(&cfg)
+	return assemble(eng, dataplane.New(eng, g, cfg.Dataplane), g, cfg)
+}
+
+// assemble wires the agents of a fabric onto an already constructed
+// dataplane. Each node's agents are created under that node's shard: they
+// capture the shard's scheduler for their timers and the shard's flight
+// recorder for their telemetry, so every per-node event they ever produce
+// stays inside the shard that owns the node. (On a single-shard dataplane
+// both collapse to the engine and base recorder, preserving the classic
+// construction exactly.)
+func assemble(drv sim.Driver, net *dataplane.Network, g *topo.Graph, cfg Config) *Fabric {
 	f := &Fabric{
-		Eng:   eng,
+		Eng:   drv,
 		Graph: g,
-		Net:   dataplane.New(eng, g, cfg.Dataplane),
+		Net:   net,
 		Cfg:   cfg,
 		Edges: make(map[topo.NodeID]*ufabe.Agent),
 		Cores: make(map[topo.NodeID]*ufabc.Agent),
@@ -148,6 +175,9 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
 	}
 	f.Net.OnFailDrop = f.bounceFailure
 	for _, n := range g.Nodes {
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.SetActiveShard(int(f.Net.ShardOf(n.ID)))
+		}
 		switch {
 		case n.Kind == topo.Switch:
 			ag := ufabc.New(cfg.Core)
@@ -161,13 +191,24 @@ func New(eng *sim.Engine, g *topo.Graph, cfg Config) *Fabric {
 				f.Net.SetSwitchAgent(n.ID, ag)
 				f.Cores[n.ID] = ag
 			}
-			e := ufabe.New(eng, f.Net, n.ID, cfg.Edge)
+			e := ufabe.New(f.Net.NodeScheduler(n.ID), f.Net, n.ID, cfg.Edge)
 			e.AttachTelemetry(cfg.Telemetry, telemetry.Token(n.Name))
 			f.Edges[n.ID] = e
 		}
 	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.SetActiveShard(-1)
+	}
 	f.initAudit(&cfg)
 	return f
+}
+
+// HostScheduler returns the scheduling context that owns a host: workload
+// drivers feeding that host's demand at simulated times (rather than from
+// the coordinator's barriers) must schedule on it so the traffic runs
+// inside the host's shard.
+func (f *Fabric) HostScheduler(host topo.NodeID) sim.Scheduler {
+	return f.Net.NodeScheduler(host)
 }
 
 // bounceFailure converts a probe dropped at a dead hop into the
@@ -202,7 +243,7 @@ func (f *Fabric) bounceFailure(pkt *dataplane.Packet, at, failed topo.NodeID) {
 		Tenant:  pkt.Tenant,
 		Size:    probe.WireSize(0),
 		Route:   back,
-		SentAt:  f.Eng.Now(),
+		SentAt:  f.Net.NodeScheduler(at).Now(),
 		Payload: buf,
 	})
 }
@@ -330,11 +371,20 @@ func (f *Fabric) FlushTelemetry() {
 		reg.Gauge(ent + ".phi_tokens").Set(phi)
 		reg.Gauge(ent + ".window_bytes").Set(float64(w))
 	}
-	es := f.Eng.Stats()
-	reg.Gauge("sim.engine.events_processed").Set(float64(es.Processed))
-	reg.Gauge("sim.engine.pending").Set(float64(es.Pending))
-	reg.Gauge("sim.engine.peak_pending").Set(float64(es.PeakPending))
-	reg.Gauge("sim.engine.arena_slots").Set(float64(es.ArenaSlots))
+	if src, ok := f.Eng.(sim.StatsSource); ok {
+		es := src.Stats()
+		reg.Gauge("sim.engine.events_processed").Set(float64(es.Processed))
+		reg.Gauge("sim.engine.pending").Set(float64(es.Pending))
+		// Processed and pending count logical events, so they are identical
+		// across execution modes. Queue peaks and arena sizes are per-heap
+		// artifacts (one heap sequentially, one per shard on the parallel
+		// core), so partitioned fabrics skip them to keep snapshots
+		// bit-identical for every -shards value.
+		if !f.partitioned {
+			reg.Gauge("sim.engine.peak_pending").Set(float64(es.PeakPending))
+			reg.Gauge("sim.engine.arena_slots").Set(float64(es.ArenaSlots))
+		}
+	}
 	fs := f.FaultStats()
 	reg.Gauge("vfabric.faults.migrations").Set(float64(fs.Migrations))
 	reg.Gauge("vfabric.faults.freezes_armed").Set(float64(fs.FreezesArmed))
@@ -349,10 +399,14 @@ func (f *Fabric) StartSampling(interval sim.Duration) (stop func()) {
 	return f.Eng.Every(interval, f.SampleRates)
 }
 
-// StartCoreCleanup starts the silent-quit cleanup loop on every μFAB-C.
+// StartCoreCleanup starts the silent-quit cleanup loop on every μFAB-C,
+// each on its own node's shard scheduler (node order keeps the schedule
+// deterministic).
 func (f *Fabric) StartCoreCleanup() {
-	for _, c := range f.Cores {
-		c.StartCleanup(f.Eng)
+	for _, n := range f.Graph.Nodes {
+		if c := f.Cores[n.ID]; c != nil {
+			c.StartCleanup(f.Net.NodeScheduler(n.ID))
+		}
 	}
 }
 

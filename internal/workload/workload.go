@@ -161,7 +161,7 @@ func (m *Messages) complete(i int, now sim.Time) {
 // FixedRate feeds a buffer at a constant rate in byte chunks, emulating an
 // application with a bounded demand. Stop the feeder with the returned
 // function.
-func FixedRate(eng *sim.Engine, buf *flowsrc.Buffer, bps float64, chunk sim.Duration) (stop func()) {
+func FixedRate(eng sim.Scheduler, buf *flowsrc.Buffer, bps float64, chunk sim.Duration) (stop func()) {
 	if chunk <= 0 {
 		chunk = 100 * sim.Microsecond
 	}
@@ -177,7 +177,7 @@ func FixedRate(eng *sim.Engine, buf *flowsrc.Buffer, bps float64, chunk sim.Dura
 // workload (500 Mbps fixed vs unlimited every 4 ms). During the unlimited
 // phase a large backlog chunk is injected per period; during the fixed
 // phase bytes drip at underloadBps.
-func OnOff(eng *sim.Engine, buf *flowsrc.Buffer, underloadBps float64, period sim.Duration, unlimitedChunk int64) (stop func()) {
+func OnOff(eng sim.Scheduler, buf *flowsrc.Buffer, underloadBps float64, period sim.Duration, unlimitedChunk int64) (stop func()) {
 	on := true // first flip enters underload
 	var stopRate func()
 	flip := func() {
@@ -275,7 +275,7 @@ func KeyValue() *SizeDist {
 // times targeting loadBps of offered load given the size distribution.
 // Each arrival's destination callback (if non-nil) is invoked instead of
 // tracker.Send, letting the caller pick a destination per message.
-func Poisson(eng *sim.Engine, rng *rand.Rand, dist *SizeDist, loadBps float64,
+func Poisson(eng sim.Scheduler, rng *rand.Rand, dist *SizeDist, loadBps float64,
 	send func(size int64, now sim.Time)) (stop func()) {
 	meanSize := dist.Mean()
 	rate := loadBps / 8 / meanSize // messages per second
