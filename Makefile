@@ -4,7 +4,7 @@
 #                    metric change (commit the diff)
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place fuzz serve-smoke shard
+.PHONY: ci build vet fmt-check test race bench check audit golden chaos trace place fuzz serve-smoke shard results
 
 ci: build vet fmt-check test race bench check audit shard fuzz serve-smoke
 	@echo "CI gate passed"
@@ -28,10 +28,19 @@ race:
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race ./internal/placement
 	$(GO) test -race ./internal/ctlplane
-	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism|TestAuditParallelDeterminism|TestShardIdentity'
+	$(GO) test -race ./internal/experiments -run 'TestParallelRunnerDeterminism|TestTelemetryParallelDeterminism|TestAuditParallelDeterminism|TestShardIdentity|TestShardedSubscribe'
 
+# One pass over every benchmark in the tree. This is the single emitter of
+# the BENCH_*.json trajectory files (BENCH_audit, BENCH_ctlplane,
+# BENCH_obs, BENCH_placement, BENCH_shardsim) that CI uploads as one
+# artifact; the per-figure benchmarks land in bench.txt.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./... | tee bench.txt
+
+# The full-scale evaluation transcript (every experiment's report text).
+# Generated, not committed — regenerate after metric-affecting changes.
+results:
+	$(GO) run ./cmd/ufabsim run all | tee full_results.txt
 
 # The golden gate runs twice: instrumentation must never change results.
 check:
@@ -54,6 +63,7 @@ audit:
 # (set UFAB_BENCH_FULL=1 on a multicore box for the 8192-host fabric).
 shard:
 	$(GO) run ./cmd/ufabsim check -shards 4
+	$(GO) run ./cmd/ufabsim check -telemetry -shards 4
 	$(GO) test -run '^$$' -bench BenchmarkShardedEngine -benchtime 1x .
 
 golden:
@@ -88,7 +98,11 @@ fuzz:
 	$(GO) test ./internal/fuzz
 	$(GO) run ./cmd/ufabsim fuzz -seeds 50 -corpus internal/fuzz/testdata/regressions
 
-# Flight-recorder sample: the chaoslab run's event stream as JSONL.
+# Flight-recorder sample: the chaoslab run's event stream as JSONL, and
+# the same run's causal spans as Chrome trace-event JSON (open
+# trace_perfetto.json in https://ui.perfetto.dev or chrome://tracing).
 trace:
 	$(GO) run ./cmd/ufabsim -quick trace chaoslab > trace.jsonl
 	@wc -l < trace.jsonl | xargs -I{} echo "{} events in trace.jsonl"
+	$(GO) run ./cmd/ufabsim -quick trace -format perfetto chaoslab > trace_perfetto.json
+	@wc -c < trace_perfetto.json | xargs -I{} echo "{} bytes in trace_perfetto.json"

@@ -144,6 +144,52 @@ func BenchmarkAuditOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkObservability pins the metrics plane's marginal cost: the flap
+// fault experiment (chaos events, probe churn, migrations — the heaviest
+// producer of histogram observations and span-tagged trace events) is
+// timed bare and with the full telemetry plane attached, and the delta is
+// reported as overhead. The trace/histogram volume the instrumented run
+// produced is reported alongside, so a cost regression can be attributed
+// to volume vs per-record cost. The result is also emitted as
+// BENCH_obs.json so CI can track the trajectory across commits.
+func BenchmarkObservability(b *testing.B) {
+	e := experiments.Find("flap")
+	if e == nil {
+		b.Fatal("unknown experiment flap")
+	}
+	var bare, instrumented time.Duration
+	var traceEvents uint64
+	var histograms, histObservations int
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		e.Run(experiments.Options{Quick: true, Seed: 1})
+		bare += time.Since(t0)
+		t1 := time.Now()
+		rep := e.Run(experiments.Options{Quick: true, Seed: 1, Telemetry: true})
+		instrumented += time.Since(t1)
+		traceEvents, _ = rep.Reg.TraceTotals()
+		histograms = 0
+		histObservations = 0
+		for _, h := range rep.Reg.Snapshot().Histograms {
+			histograms++
+			histObservations += int(h.Count)
+		}
+	}
+	nsBare := float64(bare.Nanoseconds()) / float64(b.N)
+	nsInstr := float64(instrumented.Nanoseconds()) / float64(b.N)
+	overheadPct := (nsInstr - nsBare) / nsBare * 100
+	b.ReportMetric(nsBare, "bare_ns/op")
+	b.ReportMetric(nsInstr, "instrumented_ns/op")
+	b.ReportMetric(overheadPct, "telemetry_overhead_pct")
+	b.ReportMetric(float64(traceEvents), "trace_events")
+	b.ReportMetric(float64(histObservations), "hist_observations")
+	out := fmt.Sprintf(`{"benchmark":"observability_overhead","experiment":"flap","iterations":%d,"bare_ns_per_op":%.0f,"instrumented_ns_per_op":%.0f,"overhead_pct":%.2f,"trace_events":%d,"histograms":%d,"hist_observations":%d}`+"\n",
+		b.N, nsBare, nsInstr, overheadPct, traceEvents, histograms, histObservations)
+	if err := os.WriteFile("BENCH_obs.json", []byte(out), 0o644); err != nil {
+		b.Fatalf("write BENCH_obs.json: %v", err)
+	}
+}
+
 // BenchmarkCtlplaneAdmission pins the sharded ledger's throughput claim:
 // open-loop admission churn (two-phase commit across range-partitioned
 // link shards, each goroutine holding a ring of standing tenants) must

@@ -15,6 +15,7 @@
 //	ufabsim -telemetry -metrics m.json run all  # export registry snapshots
 //	ufabsim trace fig15          # flight-recorder JSONL on stdout
 //	ufabsim trace -strict fig15  # fail if the recorder ring dropped events
+//	ufabsim trace -format perfetto chaoslab  # Chrome trace-event JSON (Perfetto UI)
 //	ufabsim -audit run fig15     # attach the predictability auditor
 //	ufabsim audit all            # audited replay; fail on unexcused findings
 //	ufabsim -findings f.jsonl audit all  # export findings as JSONL
@@ -49,6 +50,7 @@ import (
 
 	"ufab/internal/chaos"
 	"ufab/internal/experiments"
+	"ufab/internal/stats"
 )
 
 func main() {
@@ -325,10 +327,15 @@ func writeMetrics(path string, results []experiments.RunResult, repeat int) erro
 func trace(opts experiments.Options, args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	strict := fs.Bool("strict", false, "exit non-zero when the flight-recorder ring dropped events (the exported trace is incomplete)")
+	format := fs.String("format", "jsonl", "trace output format: jsonl (one event per line) or perfetto (Chrome trace-event JSON, loadable in Perfetto/chrome://tracing)")
 	fs.Parse(args)
 	args = fs.Args()
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ufabsim [flags] trace [-strict] <experiment>")
+		fmt.Fprintln(os.Stderr, "usage: ufabsim [flags] trace [-strict] [-format jsonl|perfetto] <experiment>")
+		os.Exit(2)
+	}
+	if *format != "jsonl" && *format != "perfetto" {
+		fmt.Fprintf(os.Stderr, "unknown trace format %q (want jsonl or perfetto)\n", *format)
 		os.Exit(2)
 	}
 	e := experiments.Find(args[0])
@@ -355,7 +362,22 @@ func trace(opts experiments.Options, args []string) {
 	} else {
 		fmt.Fprintf(os.Stderr, "-- flight recorder: %d events --\n", total)
 	}
-	if err := rep.Reg.WriteTraceJSONL(os.Stdout); err != nil {
+	// One summary line per histogram, so the latency shape of the run is
+	// visible next to the trace without opening the snapshot.
+	for _, h := range rep.Reg.Snapshot().Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "   %-40s n=%-7d p50=%.4g p99=%.4g max=%.4g\n",
+			h.Name, h.Count, stats.BucketQuantile(h, 0.5), stats.BucketQuantile(h, 0.99), h.Max)
+	}
+	var err error
+	if *format == "perfetto" {
+		err = rep.Reg.WritePerfettoJSON(os.Stdout)
+	} else {
+		err = rep.Reg.WriteTraceJSONL(os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -482,7 +504,7 @@ usage:
   ufabsim [flags] list
   ufabsim [flags] run all | <id>...
   ufabsim [flags] tables
-  ufabsim [flags] trace [-strict] <id>
+  ufabsim [flags] trace [-strict] [-format jsonl|perfetto] <id>
   ufabsim [flags] audit all | <id>...
   ufabsim [flags] check [-golden file] [-update] [-tol t] [-telemetry] [-audit]
   ufabsim fuzz [-seeds n] [-seed0 s] [-budget d] [-shrink] [-out dir] [-corpus dir] [-replay file]

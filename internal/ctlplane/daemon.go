@@ -147,7 +147,7 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		Policy:           pol,
 		Telemetry:        d.Reg,
 	})
-	d.Svc.SetHealth(d.UF.Net)
+	d.Svc.WatchRecorder(d.Reg.Recorder())
 	d.UF.Cfg.Ledger = d.Svc.Ledger()
 	if err := d.Svc.Recover(int64(d.Eng.Now())); err != nil {
 		return nil, fmt.Errorf("ctlplane: recover: store and ledger disagree: %w", err)

@@ -1,11 +1,14 @@
 package ctlplane
 
-// The watcher/reconciler: each Reconcile pass polls fabric liveness,
-// demotes Placed tenants whose hosts died or are draining (tearing down
-// their realized state), and re-places Pending/Degraded tenants under the
-// retry/backoff budget. The pass is deterministic — tenants are visited
-// in sorted-id order and the only inputs are the fleet, the ledger and
-// the health source — so experiments driving it from simulated time are
+// The watcher/reconciler: each Reconcile pass folds the event-driven
+// liveness view (fed by the flight recorder's dataplane fault events, see
+// Service.WatchRecorder) into schedulability, demotes Placed tenants whose
+// hosts died or are draining (tearing down their realized state), and
+// re-places Pending/Degraded tenants under the retry/backoff budget. The
+// pass is deterministic — tenants are visited in sorted-id order and the
+// only inputs are the fleet, the ledger and the failed set, whose updates
+// happen at fault-event times that are themselves pure functions of the
+// scenario — so experiments driving it from simulated time are
 // byte-identical across parallel runs.
 
 import (
@@ -21,12 +24,12 @@ func (s *Service) Reconcile(nowPS int64) int {
 	s.reconcileLoops++
 	changed := 0
 
-	// Watch: refresh schedulability from liveness ∨ drain. Polling the
-	// fabric (not the telemetry recorder) keeps the control loop
-	// identical whether or not the flight recorder is attached.
+	// Watch: refresh schedulability from the fault-event-driven failed
+	// set ∨ drain. The set was updated synchronously as the recorder saw
+	// each dataplane fault, so a pass at time T observes exactly the
+	// faults before T — the same view the old fabric poll produced.
 	for i, h := range s.fleet.Hosts {
-		failed := s.health != nil && s.health.Failed(h)
-		s.fleet.Unschedulable[i] = failed || s.draining[h]
+		s.fleet.Unschedulable[i] = s.failed[h] || s.draining[h]
 	}
 
 	ids := s.sortedIDsLocked()

@@ -4,17 +4,35 @@ import (
 	"testing"
 
 	"ufab/internal/placement"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
-// TestReconcileReplacesAfterNodeFailure: killing a host displaces its
-// tenants; the next reconcile pass tears them down and re-places them on
-// live hosts, with the ledger verifying clean throughout.
+// watchedRecorder wires a fresh flight recorder into the service's
+// event-driven watcher and returns helpers that record the dataplane
+// fault events the watcher listens for.
+func watchedRecorder(s *Service) (fail, heal func(at int64, h topo.NodeID)) {
+	reg := telemetry.New()
+	rec := reg.EnableRecorder(0)
+	s.WatchRecorder(rec)
+	ev := func(at int64, h topo.NodeID, down int64, note string) {
+		rec.Record(telemetry.Event{
+			T: at, Kind: telemetry.EvFault, Entity: "dataplane.node",
+			A: int64(h), B: down, Note: note,
+		})
+	}
+	return func(at int64, h topo.NodeID) { ev(at, h, 1, "fail") },
+		func(at int64, h topo.NodeID) { ev(at, h, 0, "recover") }
+}
+
+// TestReconcileReplacesAfterNodeFailure: a recorded node-fault event
+// displaces the host's tenants; the next reconcile pass tears them down
+// and re-places them on live hosts, with the ledger verifying clean
+// throughout.
 func TestReconcileReplacesAfterNodeFailure(t *testing.T) {
 	mat := newFakeMat()
 	s := testService(t, nil, mat)
-	health := mapHealth{}
-	s.SetHealth(health)
+	fail, heal := watchedRecorder(s)
 
 	var victims []topo.NodeID
 	for id := int32(1); id <= 4; id++ {
@@ -27,7 +45,7 @@ func TestReconcileReplacesAfterNodeFailure(t *testing.T) {
 		}
 	}
 	dead := victims[0]
-	health[dead] = true
+	fail(500, dead)
 
 	if n := s.Reconcile(1000); n == 0 {
 		t.Fatal("reconcile saw nothing to do")
@@ -53,6 +71,14 @@ func TestReconcileReplacesAfterNodeFailure(t *testing.T) {
 	// A second pass with nothing changed must be a no-op.
 	if n := s.Reconcile(2000); n != 0 {
 		t.Fatalf("steady-state reconcile changed %d tenants", n)
+	}
+
+	// A recovery event restores schedulability: an admission spanning
+	// every host (including the recovered one) must land.
+	heal(3000, dead)
+	s.Reconcile(3000)
+	if d := s.Admit(placement.Request{ID: 9, GuaranteeBps: 1e9, VMs: 8}, 4000); !d.Accepted {
+		t.Fatalf("admit spanning the recovered host: %+v", d)
 	}
 }
 
@@ -114,8 +140,7 @@ func TestReconcileBackoffAndEviction(t *testing.T) {
 		MaxRetries:   3,
 		RetryBackoff: 100, // 100 ps base, doubling
 	})
-	health := mapHealth{}
-	s.SetHealth(health)
+	fail, _ := watchedRecorder(s)
 
 	d := s.Admit(placement.Request{ID: 1, GuaranteeBps: 1e9, VMs: 2}, 0)
 	if !d.Accepted {
@@ -123,7 +148,7 @@ func TestReconcileBackoffAndEviction(t *testing.T) {
 	}
 	// Kill every host: re-placement is impossible.
 	for _, h := range s.Fleet().Hosts {
-		health[h] = true
+		fail(500, h)
 	}
 	now := int64(1000)
 	s.Reconcile(now) // demote + retry 1 fails

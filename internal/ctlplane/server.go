@@ -7,6 +7,7 @@ package ctlplane
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +15,8 @@ import (
 
 	"ufab/internal/audit"
 	"ufab/internal/placement"
+	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -233,7 +236,36 @@ func (d *Daemon) Handler() http.Handler {
 		w.Write(buf)
 	})
 
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		d.Do(func() {
+			snap := d.Reg.Snapshot()
+			appendHealthGauges(&snap, d.Eng)
+			_ = snap.WriteOpenMetrics(&buf)
+		})
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+
 	return mux
+}
+
+// appendHealthGauges folds the simulation driver's operational shard-health
+// counters (window stalls, seal latency, ring occupancy — wall-clock and
+// scheduling dependent, so deliberately kept out of the deterministic
+// registry) into a snapshot as extra gauges for exposition. A sequential
+// engine reports no shards and contributes nothing.
+func appendHealthGauges(snap *telemetry.Snapshot, src sim.HealthSource) {
+	for _, h := range src.Health() {
+		ent := fmt.Sprintf("simhealth.shard%d", h.Shard)
+		snap.Gauges = append(snap.Gauges,
+			telemetry.GaugeValue{Name: ent + ".window_stalls", Value: float64(h.WindowStalls)},
+			telemetry.GaugeValue{Name: ent + ".send_spins", Value: float64(h.SendSpins)},
+			telemetry.GaugeValue{Name: ent + ".window_seals", Value: float64(h.Seals)},
+			telemetry.GaugeValue{Name: ent + ".seal_nanos", Value: float64(h.SealNanos)},
+			telemetry.GaugeValue{Name: ent + ".ring_peak", Value: float64(h.RingPeak)},
+		)
+	}
 }
 
 // serveFindings dumps the audit log as JSONL; with ?follow=1 it keeps the

@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
+	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 )
 
@@ -173,6 +177,81 @@ func TestDaemonRestartRecovery(t *testing.T) {
 	getJSON(t, base2+"/v1/ledger", &led)
 	if !led.VerifyOK || led.Tenants != 2 {
 		t.Fatalf("recovered ledger: %+v", led)
+	}
+}
+
+// TestServerOpenMetricsEndpoint: GET /metrics serves the registry snapshot
+// in OpenMetrics text form — typed families, EOF terminator — suitable for
+// a Prometheus-compatible scraper.
+func TestServerOpenMetricsEndpoint(t *testing.T) {
+	_, base := testDaemon(t, DaemonConfig{Seed: 1})
+	var dec Decision
+	postJSON(t, base+"/v1/admit", admitBody{ID: 1, GuaranteeBps: 2e9, VMs: 2, WeightClass: 5}, &dec)
+	if !dec.Accepted {
+		t.Fatalf("admit: %+v", dec)
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition not EOF-terminated:\n...%s", text[max(0, len(text)-120):])
+	}
+	for _, want := range []string{"# TYPE ", "ufab_", `entity="`} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text[:min(len(text), 400)])
+		}
+	}
+}
+
+// fakeHealth is a HealthSource with canned shard counters.
+type fakeHealth []sim.ShardHealth
+
+func (f fakeHealth) Health() []sim.ShardHealth { return f }
+
+// TestAppendHealthGauges: shard counters become per-shard gauges on the
+// snapshot (the daemon's engine is sequential, so the live endpoint only
+// exercises the empty case — the sharded shape is pinned here).
+func TestAppendHealthGauges(t *testing.T) {
+	snap := telemetry.Snapshot{}
+	appendHealthGauges(&snap, fakeHealth{
+		{Shard: 0, WindowStalls: 3, SendSpins: 1, Seals: 40, SealNanos: 8000, RingPeak: 12},
+		{Shard: 1, Seals: 40},
+	})
+	if len(snap.Gauges) != 10 {
+		t.Fatalf("gauges = %d, want 10 (5 per shard)", len(snap.Gauges))
+	}
+	byName := map[string]float64{}
+	for _, g := range snap.Gauges {
+		byName[g.Name] = g.Value
+	}
+	if byName["simhealth.shard0.window_stalls"] != 3 || byName["simhealth.shard1.window_seals"] != 40 {
+		t.Fatalf("gauge values wrong: %v", byName)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `ufab_window_stalls{entity="simhealth.shard0"} 3`) {
+		t.Fatalf("health gauge missing from exposition:\n%s", buf.String())
+	}
+	// A sequential engine contributes nothing.
+	n := len(snap.Gauges)
+	appendHealthGauges(&snap, sim.New())
+	if len(snap.Gauges) != n {
+		t.Fatalf("sequential engine added gauges")
 	}
 }
 

@@ -24,12 +24,6 @@ import (
 	"ufab/internal/topo"
 )
 
-// NodeHealth is the watcher's view of fabric liveness; *dataplane.Network
-// implements it. nil means no failure detection (drains still work).
-type NodeHealth interface {
-	Failed(topo.NodeID) bool
-}
-
 // Config parameterizes a Service.
 type Config struct {
 	// Oversubscription scales every link's admission budget (default 1.0,
@@ -82,11 +76,14 @@ type Service struct {
 	fleet  *placement.Fleet
 	store  *Store
 	mat    placement.Materializer
-	health NodeHealth
 
 	mu       sync.Mutex
 	tenants  map[int32]*Tenant
 	draining map[topo.NodeID]bool
+	// failed is the watcher's view of fabric liveness, maintained
+	// event-driven from the flight recorder's dataplane fault events
+	// (WatchRecorder) rather than by polling the fabric.
+	failed map[topo.NodeID]bool
 
 	admitted, rejected, released                                int64
 	reconcileLoops, displaced, replacements, retries, evictions int64
@@ -120,12 +117,33 @@ func NewService(g *topo.Graph, store *Store, mat placement.Materializer, cfg Con
 		mat:      mat,
 		tenants:  make(map[int32]*Tenant),
 		draining: make(map[topo.NodeID]bool),
+		failed:   make(map[topo.NodeID]bool),
 	}
 }
 
-// SetHealth wires the watcher's liveness source (typically the fabric's
-// dataplane network). Call before the run starts.
-func (s *Service) SetHealth(h NodeHealth) { s.health = h }
+// WatchRecorder subscribes the watcher to a flight recorder: dataplane
+// node-fault events (EvFault on entity "dataplane.node", A = node id,
+// B = 1 down / 0 recovered) drive the failed set that Reconcile folds into
+// schedulability. Wire it before faults can occur — a subscriber only sees
+// events recorded after it registers. With no recorder (nil) the service
+// has no failure detection; drains still work.
+func (s *Service) WatchRecorder(rec *telemetry.Recorder) {
+	rec.Subscribe(func(ev telemetry.Event) {
+		// Filter before locking: the subscriber runs inside Record for
+		// every event, including ones recorded while s.mu is held (e.g.
+		// materialization churn during placeLocked).
+		if ev.Kind != telemetry.EvFault || ev.Entity != "dataplane.node" {
+			return
+		}
+		s.mu.Lock()
+		if ev.B != 0 {
+			s.failed[topo.NodeID(ev.A)] = true
+		} else {
+			delete(s.failed, topo.NodeID(ev.A))
+		}
+		s.mu.Unlock()
+	})
+}
 
 // Ledger exposes the sharded subscription account (read side for the
 // auditor's ledger_bound invariant and for experiments).
@@ -238,9 +256,9 @@ func (s *Service) Uncordon(h topo.NodeID) bool {
 		return false
 	}
 	delete(s.draining, h)
-	// Schedulability is recomputed (health ∨ drain) next reconcile; clear
+	// Schedulability is recomputed (failed ∨ drain) next reconcile; clear
 	// the drain bit now so admissions between ticks can use the host.
-	if s.health == nil || !s.health.Failed(h) {
+	if !s.failed[h] {
 		s.fleet.SetUnschedulable(h, false)
 	}
 	return true

@@ -38,11 +38,6 @@ func (m *fakeMat) RemoveTenant(vf int32) bool {
 	return true
 }
 
-// mapHealth is a NodeHealth double.
-type mapHealth map[topo.NodeID]bool
-
-func (h mapHealth) Failed(n topo.NodeID) bool { return h[n] }
-
 func testService(t *testing.T, store *Store, mat placement.Materializer) *Service {
 	t.Helper()
 	tb := topo.NewTestbed(topo.TestbedConfig{})

@@ -468,6 +468,7 @@ func (n *Network) FlushTelemetry(now sim.Time) {
 		reg.Gauge(ent + ".drops").Set(float64(p.Drops))
 		reg.Gauge(ent + ".fault_drops").Set(float64(p.FaultDrops))
 		reg.Series(ent+".qlen_bytes", 0).Add(int64(now), float64(p.queueBytes))
+		reg.Histogram(ent + ".qdepth_bytes").Observe(float64(p.queueBytes))
 	}
 }
 
@@ -497,11 +498,14 @@ func (n *Network) validNode(id topo.NodeID) bool {
 // FailNode marks a node as failed: packets arriving at it or queued to
 // leave it are dropped. Fig 15 fails Core1 at t = 90 ms. An out-of-range
 // id is a no-op returning false rather than a panic mid-simulation.
+// The transition is recorded as an EvFault on the coordinator recorder —
+// the event stream the ctlplane reconciler subscribes to for node health.
 func (n *Network) FailNode(id topo.NodeID) bool {
 	if !n.validNode(id) {
 		return false
 	}
 	n.failed[id] = true
+	n.recordNodeFault(id, 1, "fail") // B=1: node is down
 	return true
 }
 
@@ -511,7 +515,20 @@ func (n *Network) RecoverNode(id topo.NodeID) bool {
 		return false
 	}
 	n.failed[id] = false
+	n.recordNodeFault(id, 0, "recover")
 	return true
+}
+
+// recordNodeFault emits the node up/down transition. Fail/recover calls
+// originate in coordinator context (chaos fires at coordinator barriers),
+// so the event goes to the coordinator recorder with coordinator time and
+// is identical under sequential and sharded execution.
+func (n *Network) recordNodeFault(id topo.NodeID, down int64, note string) {
+	if n.rec == nil {
+		return
+	}
+	n.rec.Record(telemetry.Event{T: int64(n.Eng.Now()), Kind: telemetry.EvFault,
+		Entity: "dataplane.node", A: int64(id), B: down, Note: note})
 }
 
 // Failed reports whether a node is failed (false for out-of-range ids).

@@ -289,6 +289,14 @@ type system struct {
 
 	uf *vfabric.Fabric
 	bl *blhost.Fabric
+
+	// reg is the attached registry (nil when telemetry is off). fctVFs and
+	// fctPair track the per-pair FCT histograms created by addMessageFlow
+	// so mergeTenantFCT can aggregate them per tenant after the run. Both
+	// are written only at setup time (coordinator context).
+	reg     *telemetry.Registry
+	fctVFs  []int32
+	fctPair map[int32][]*telemetry.Histogram
 }
 
 // flowHandle is the uniform per-flow measurement handle.
@@ -356,7 +364,7 @@ func (h *flowHandle) delivered() int64 {
 // vfabric.Build; baselines always run sequentially (their results don't
 // depend on the μFAB execution mode).
 func newSystem(s scheme, o Options, g *topo.Graph, seed int64, reg *telemetry.Registry, aud *audit.Config) *system {
-	sys := &system{scheme: s, graph: g}
+	sys := &system{scheme: s, graph: g, reg: reg, fctPair: make(map[int32][]*telemetry.Histogram)}
 	switch s {
 	case schemeUFAB, schemeUFABPrime:
 		cfg := vfabric.Config{Seed: seed, Telemetry: reg, Audit: aud}
@@ -471,6 +479,20 @@ func (h *flowHandle) backlog() { h.buffer().Add(1 << 42) }
 // mcMessages dials a message-tracked flow on either fabric.
 func (sys *system) addMessageFlow(vf int32, guaranteeBps float64, src, dst topo.NodeID) (*workload.Messages, *flowHandle) {
 	msgs := &workload.Messages{}
+	if sys.reg != nil {
+		// Per-pair FCT histogram: completions fire in the source host's
+		// shard, so each histogram keeps the single-writer discipline.
+		// mergeTenantFCT folds them into per-tenant distributions after
+		// the run.
+		ent := fmt.Sprintf("workload.vf%d-%s-%s", vf,
+			telemetry.Token(sys.graph.Node(src).Name), telemetry.Token(sys.graph.Node(dst).Name))
+		h := sys.reg.Histogram(ent + ".fct_us")
+		sys.fctPair[vf] = append(sys.fctPair[vf], h)
+		if len(sys.fctPair[vf]) == 1 {
+			sys.fctVFs = append(sys.fctVFs, vf)
+		}
+		msgs.Observe(func(_ workload.Message, fct sim.Duration) { h.Observe(fct.Micros()) })
+	}
 	if sys.uf != nil {
 		v := sys.uf.VFs[vf]
 		if v == nil {
@@ -482,6 +504,23 @@ func (sys *system) addMessageFlow(vf int32, guaranteeBps float64, src, dst topo.
 	tokens := guaranteeBps / 100e6
 	fh := sys.bl.AddFlowDemand(vf, tokens, src, dst, 4, msgs)
 	return msgs, &flowHandle{blFlow: fh}
+}
+
+// mergeTenantFCT folds each tenant's per-pair FCT histograms into one
+// "workload.vf<id>.fct_us" distribution — the shared global bucket layout
+// makes the merge exact. Call at the coordinator after the horizon; merge
+// order follows creation order, so the merged histograms are byte-identical
+// across -jobs and -shards.
+func (sys *system) mergeTenantFCT() {
+	if sys.reg == nil {
+		return
+	}
+	for _, vf := range sys.fctVFs {
+		merged := sys.reg.Histogram(fmt.Sprintf("workload.vf%d.fct_us", vf))
+		for _, h := range sys.fctPair[vf] {
+			merged.Merge(h)
+		}
+	}
 }
 
 // newRand returns a deterministic RNG for experiment-level choices.

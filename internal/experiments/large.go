@@ -172,7 +172,7 @@ func Fig17(o Options) *Report {
 					ps := &pairState{msgs: msgs, guarantee: guarantee, fh: fh,
 						bins: map[string]*stats.Samples{}}
 					pairs = append(pairs, ps)
-					msgs.OnComplete = func(m workload.Message, fct sim.Duration) {
+					msgs.Observe(func(m workload.Message, fct sim.Duration) {
 						sd := stats.Slowdown(fct, int(m.Size), guarantee)
 						ps.slow.Add(sd)
 						bin := sizeBin(m.Size)
@@ -180,7 +180,7 @@ func Fig17(o Options) *Report {
 							ps.bins[bin] = &stats.Samples{}
 						}
 						ps.bins[bin].Add(sd)
-					}
+					})
 					stopArrivals := workload.Poisson(eng, newRand(o.Seed+int64(vfID)), dist, perPairLoad,
 						func(size int64, now sim.Time) {
 							ps.offered += size
@@ -192,6 +192,7 @@ func Fig17(o Options) *Report {
 				}
 			}
 			eng.RunUntil(dur)
+			sys.mergeTenantFCT()
 			for _, ps := range pairs {
 				slow.AddAll(&ps.slow)
 				for bin, s := range ps.bins {

@@ -16,6 +16,7 @@ import (
 	"ufab/internal/ctlplane"
 	"ufab/internal/placement"
 	"ufab/internal/sim"
+	"ufab/internal/telemetry"
 	"ufab/internal/topo"
 	"ufab/internal/vfabric"
 )
@@ -41,7 +42,18 @@ func Reconcile(o Options) *Report {
 	}
 	eng := sim.New()
 	tb := topo.NewTestbed(topo.TestbedConfig{})
-	cfg := vfabric.Config{Seed: o.Seed, Telemetry: o.fabricTelemetry(r), Audit: o.fabricAudit(r)}
+	// The watcher is event-driven off the flight recorder, so this
+	// experiment always attaches a registry with a recorder to the fabric:
+	// the report's own when the run exports telemetry, otherwise a private
+	// one that exists only to carry the dataplane fault events. Attaching
+	// it never changes results (telemetry is a pure observer), so the
+	// golden metrics are identical either way.
+	reg := o.fabricTelemetry(r)
+	if reg == nil {
+		reg = telemetry.New()
+		reg.EnableRecorder(0)
+	}
+	cfg := vfabric.Config{Seed: o.Seed, Telemetry: reg, Audit: o.fabricAudit(r)}
 	cfg.Core.CleanupPeriod = cleanup
 	uf := vfabric.New(eng, tb.Graph, cfg)
 	uf.StartCoreCleanup()
@@ -51,7 +63,7 @@ func Reconcile(o Options) *Report {
 		Policy:       placement.Spread{},
 		Telemetry:    o.fabricTelemetry(r),
 	})
-	svc.SetHealth(uf.Net)
+	svc.WatchRecorder(reg.Recorder())
 	// Checked-admit mode: realized Φ_l is audited against the sharded
 	// ledger's commitments, exactly as with the sequential ledger.
 	uf.Cfg.Ledger = svc.Ledger()
@@ -69,9 +81,9 @@ func Reconcile(o Options) *Report {
 		placed = append(placed, d.Hosts)
 	}
 
-	// Fault 1: crash tenant 1's first host; the reconciler must notice
-	// via its health watch and evacuate. The host recovers later so the
-	// fleet ends whole.
+	// Fault 1: crash tenant 1's first host; the watcher must pick the
+	// fault event off the flight recorder and the reconciler evacuate.
+	// The host recovers later so the fleet ends whole.
 	crashHost := placed[0][0]
 	sc := chaos.New("reconciler crash").
 		CrashNode(dur/4, crashHost).

@@ -50,9 +50,9 @@ func ShardSim(o Options) *Report {
 		msgs.Sharing = true
 		ps := &pairState{fh: fh, msgs: msgs}
 		pairs = append(pairs, ps)
-		ps.msgs.OnComplete = func(m workload.Message, fct sim.Duration) {
+		ps.msgs.Observe(func(m workload.Message, fct sim.Duration) {
 			ps.slow.Add(stats.Slowdown(fct, int(m.Size), guarantee))
-		}
+		})
 		// The workload driver lives in the host's shard: arrivals are
 		// simulated events of that shard, not coordinator barriers.
 		sched := sys.hostScheduler(src)
@@ -63,6 +63,7 @@ func ShardSim(o Options) *Report {
 	stopSampling := sys.startSampling(500 * sim.Microsecond)
 	sys.eng.RunUntil(dur)
 	stopSampling()
+	sys.mergeTenantFCT()
 
 	var slow stats.Samples
 	var completed, delivered int64

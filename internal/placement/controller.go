@@ -93,7 +93,8 @@ type Controller struct {
 	// Counters (also mirrored to telemetry when attached).
 	submitted, admitted, rejected, released int64
 
-	rec *telemetry.Recorder
+	rec    *telemetry.Recorder
+	hAdmit *telemetry.Histogram
 }
 
 type queued struct {
@@ -128,6 +129,7 @@ func NewController(eng sim.Scheduler, g *topo.Graph, mat Materializer, cfg Confi
 	}
 	if cfg.Telemetry != nil {
 		c.rec = cfg.Telemetry.Recorder()
+		c.hAdmit = cfg.Telemetry.Histogram("placement.ctl.admit_latency_us")
 	}
 	return c
 }
@@ -148,6 +150,7 @@ func (c *Controller) Policy() Policy { return c.cfg.Policy }
 func (c *Controller) Submit(req Request, done func(Decision)) {
 	c.submitted++
 	c.queue = append(c.queue, queued{req: req, at: c.eng.Now(), done: done})
+	c.stage(req.ID, "queue", 1)
 	c.serve()
 }
 
@@ -163,6 +166,7 @@ func (c *Controller) serve() {
 		d := c.decide(q.req)
 		d.SubmittedAt = q.at
 		d.DecidedAt = c.eng.Now()
+		c.hAdmit.Observe((d.DecidedAt - d.SubmittedAt).Micros())
 		c.busy = false
 		if q.done != nil {
 			q.done(d)
@@ -181,6 +185,7 @@ func (c *Controller) decide(req Request) Decision {
 	if len(hosts) != req.VMs {
 		return c.reject(req, "placement")
 	}
+	c.stage(req.ID, "place", 2)
 	pairs := ChainPairs(hosts)
 	links, amounts, err := c.ledger.Evaluate(req.GuaranteeBps, pairs)
 	if err != nil {
@@ -195,11 +200,13 @@ func (c *Controller) decide(req Request) Decision {
 	if err := c.ledger.Commit(req.ID, req.GuaranteeBps, pairs); err != nil {
 		return c.reject(req, "invalid")
 	}
+	c.stage(req.ID, "commit", 3)
 	if c.mat != nil {
 		if !c.mat.AddTenant(c.spec(req, pairs)) {
 			c.ledger.Release(req.ID)
 			return c.reject(req, "materialize")
 		}
+		c.stage(req.ID, "materialize", 4)
 	}
 	c.fleet.Place(hosts)
 	c.hostsOf[req.ID] = hosts
@@ -337,7 +344,8 @@ func (c *Controller) Stats() Stats {
 	}
 }
 
-// event records an EvPlacement flight-recorder entry.
+// event records an EvPlacement flight-recorder entry, joined to the
+// request's admission trace.
 func (c *Controller) event(req Request, note string) {
 	if c.rec == nil {
 		return
@@ -350,6 +358,25 @@ func (c *Controller) event(req Request, note string) {
 		B:      int64(req.VMs),
 		V:      req.GuaranteeBps,
 		Note:   note,
+		Trace:  telemetry.SpanID(telemetry.TraceAdmission, int64(req.ID)),
+		Span:   5,
+	})
+}
+
+// stage traces one step of the admission pipeline
+// (queue→place→commit→materialize) under the request's admission trace.
+func (c *Controller) stage(id int32, note string, span uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.Record(telemetry.Event{
+		T:      int64(c.eng.Now()),
+		Kind:   telemetry.EvStage,
+		Entity: "placement.ctl",
+		A:      int64(id),
+		Note:   note,
+		Trace:  telemetry.SpanID(telemetry.TraceAdmission, int64(id)),
+		Span:   span,
 	})
 }
 

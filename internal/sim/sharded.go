@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // eventKey is the full ordering key of a scheduled event; see slotOrder.
@@ -113,6 +114,28 @@ type shard struct {
 	in       []*ring
 	out      []*ring
 	upstream []int
+	// health holds operational counters (see health.go); written with
+	// atomics because Health() may snapshot them mid-epoch.
+	health shardHealthCounters
+}
+
+// shardHealthCounters backs ShardHealth; see health.go for field semantics.
+type shardHealthCounters struct {
+	windowStalls atomic.Uint64
+	sendSpins    atomic.Uint64
+	seals        atomic.Uint64
+	sealNanos    atomic.Uint64
+	ringPeak     atomic.Uint64
+}
+
+// bumpRingPeak raises ringPeak to n if n exceeds the current maximum.
+func (h *shardHealthCounters) bumpRingPeak(n uint64) {
+	for {
+		cur := h.ringPeak.Load()
+		if n <= cur || h.ringPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // Sharded is a parallel-in-time discrete-event driver over a set of logical
@@ -240,6 +263,7 @@ func (s *Sharded) Send(src, dst int, d Duration, fn Event) {
 	for !r.push(ev) {
 		// Ring full: keep our own inbound rings flowing so the peer
 		// (possibly blocked pushing to us) can make progress.
+		s.shards[src].health.sendSpins.Add(1)
 		s.drainShard(s.shards[src])
 		runtime.Gosched()
 	}
@@ -248,6 +272,7 @@ func (s *Sharded) Send(src, dst int, d Duration, fn Event) {
 // drainShard moves everything currently in sh's inbound rings into its
 // heap. Only sh's owning worker (or the coordinator at a barrier) may call.
 func (s *Sharded) drainShard(sh *shard) {
+	drained := uint64(0)
 	for _, r := range sh.in {
 		if r == nil {
 			continue
@@ -258,7 +283,11 @@ func (s *Sharded) drainShard(sh *shard) {
 				break
 			}
 			sh.eng.inject(ev)
+			drained++
 		}
+	}
+	if drained > 0 {
+		sh.health.bumpRingPeak(drained)
 	}
 }
 
@@ -281,6 +310,7 @@ func (s *Sharded) tryAdvance(sh *shard, bound eventKey) (done, progressed bool) 
 	k := sh.sealed.Load() + 1
 	for _, up := range sh.upstream {
 		if s.shards[up].sealed.Load() < k-1 {
+			sh.health.windowStalls.Add(1)
 			return false, false
 		}
 	}
@@ -291,7 +321,10 @@ func (s *Sharded) tryAdvance(sh *shard, bound eventKey) (done, progressed bool) 
 	wEnd := s.windowEnd(k)
 	if wEnd <= bound.at {
 		// Full window: everything below wEnd is also below the bound.
+		start := time.Now()
 		sh.eng.runBounded(eventKey{at: wEnd, schedAt: math.MinInt64})
+		sh.health.sealNanos.Add(uint64(time.Since(start)))
+		sh.health.seals.Add(1)
 		sh.sealed.Store(k)
 		return false, true
 	}

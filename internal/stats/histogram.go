@@ -1,0 +1,44 @@
+package stats
+
+import "ufab/internal/telemetry"
+
+// BucketQuantile estimates the q-quantile of a snapshot histogram (the
+// sparse non-cumulative bucket form telemetry.HistogramValue carries) by
+// linear interpolation inside the bucket holding the target rank, clamped
+// to the observed min/max. It mirrors telemetry.(*Histogram).Quantile for
+// consumers that only hold exported snapshot data — the CLI summaries and
+// offline analysis — rather than the live instrument.
+func BucketQuantile(h telemetry.HistogramValue, q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	prevBound := 0.0
+	for _, b := range h.Buckets {
+		next := cum + float64(b.Count)
+		if next >= rank {
+			hi := b.UpperBound
+			if hi != hi || hi > 1.7976931348623157e308 { // +Inf overflow bucket
+				hi = h.Max
+			}
+			v := prevBound + (hi-prevBound)*(rank-cum)/float64(b.Count)
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum = next
+		prevBound = b.UpperBound
+	}
+	return h.Max
+}

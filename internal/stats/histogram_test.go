@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ufab/internal/telemetry"
+)
+
+// TestBucketQuantileMatchesLive: the snapshot-side estimator must track
+// the live instrument's quantiles on a dense sample.
+func TestBucketQuantileMatchesLive(t *testing.T) {
+	r := telemetry.New()
+	h := r.Histogram("x.fct_us")
+	for i := 1; i <= 2000; i++ {
+		h.Observe(float64(i))
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("want 1 histogram in snapshot, got %d", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		live, fromSnap := h.Quantile(q), BucketQuantile(hv, q)
+		if live == fromSnap {
+			continue
+		}
+		if math.Abs(live-fromSnap)/live > 0.07 {
+			t.Fatalf("q%g: live=%g snapshot=%g diverge", q, live, fromSnap)
+		}
+	}
+	if BucketQuantile(telemetry.HistogramValue{}, 0.5) != 0 {
+		t.Fatalf("empty histogram quantile must be 0")
+	}
+}

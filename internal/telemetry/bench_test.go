@@ -12,6 +12,7 @@ func BenchmarkTelemetryDisabled(b *testing.B) {
 	c := r.Counter("dp.port.tx_packets")
 	g := r.Gauge("dp.port.qlen_hiwater_bytes")
 	s := r.Series("dp.port.qlen_bytes", 0)
+	h := r.Histogram("dp.port.qdepth_bytes")
 	rec := r.Recorder()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -20,7 +21,8 @@ func BenchmarkTelemetryDisabled(b *testing.B) {
 		c.Add(1500)
 		g.SetMax(float64(i))
 		s.Add(int64(i), float64(i))
-		rec.Record(Event{T: int64(i), Kind: EvDrop, B: int64(i)})
+		h.Observe(float64(i))
+		rec.Record(Event{T: int64(i), Kind: EvDrop, B: int64(i), Trace: SpanID(int64(i)), Span: 1})
 	}
 	if c.Value() != 0 {
 		b.Fatal("nil counter must stay 0")
@@ -34,6 +36,7 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 	c := r.Counter("dp.port.tx_packets")
 	g := r.Gauge("dp.port.qlen_hiwater_bytes")
 	s := r.Series("dp.port.qlen_bytes", 1<<12)
+	h := r.Histogram("dp.port.qdepth_bytes")
 	rec := r.EnableRecorder(1 << 12)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -42,6 +45,7 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 		c.Add(1500)
 		g.SetMax(float64(i))
 		s.Add(int64(i), float64(i))
-		rec.Record(Event{T: int64(i), Kind: EvDrop, B: int64(i)})
+		h.Observe(float64(i))
+		rec.Record(Event{T: int64(i), Kind: EvDrop, B: int64(i), Trace: SpanID(int64(i)), Span: 1})
 	}
 }

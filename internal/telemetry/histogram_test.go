@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	r := New()
+	h := r.Histogram("ufabe.h3.probe_rtt_us")
+	if r.Histogram("ufabe.h3.probe_rtt_us") != h {
+		t.Fatalf("second Histogram call should return the same instrument")
+	}
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 115 {
+		t.Fatalf("sum = %g, want 115", h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %g/%g, want 1/100", h.Min(), h.Max())
+	}
+	bks := h.Buckets()
+	var total uint64
+	for i, b := range bks {
+		total += b.Count
+		if i > 0 && bks[i-1].UpperBound >= b.UpperBound {
+			t.Fatalf("buckets not ascending: %v", bks)
+		}
+	}
+	if total != 5 {
+		t.Fatalf("bucket counts sum to %d, want 5", total)
+	}
+}
+
+// TestHistogramBucketLayout checks the index/bound pair agree: every
+// observation lands in a bucket whose bound brackets it.
+func TestHistogramBucketLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := math.Ldexp(rng.Float64()+0.5, rng.Intn(60)-20)
+		idx := bucketIndex(v)
+		if idx <= 0 || idx >= histNumBuckets {
+			t.Fatalf("bucketIndex(%g) = %d out of positive range", v, idx)
+		}
+		lo, hi := BucketUpperBound(idx-1), BucketUpperBound(idx)
+		if !(v > lo || idx == 1) || v > hi {
+			t.Fatalf("v=%g not in bucket %d bounds (%g, %g]", v, idx, lo, hi)
+		}
+	}
+	// Relative bucket width stays under ~1/histSubBuckets.
+	for i := 2; i < histNumBuckets-1; i++ {
+		lo, hi := BucketUpperBound(i-1), BucketUpperBound(i)
+		if rel := (hi - lo) / lo; rel > 1.0/histSubBuckets*1.01 {
+			t.Fatalf("bucket %d relative width %g too coarse", i, rel)
+		}
+	}
+	// Edge cases: non-positive and NaN go to the underflow bucket, huge
+	// values to the overflow bucket.
+	for _, v := range []float64{0, -1, math.NaN()} {
+		if bucketIndex(v) != 0 {
+			t.Fatalf("bucketIndex(%g) = %d, want 0", v, bucketIndex(v))
+		}
+	}
+	if idx := bucketIndex(1e300); idx != histNumBuckets-1 {
+		t.Fatalf("overflow bucketIndex = %d, want %d", idx, histNumBuckets-1)
+	}
+	if !math.IsInf(BucketUpperBound(histNumBuckets-1), 1) {
+		t.Fatalf("last bucket bound must be +Inf")
+	}
+	if BucketUpperBound(0) != 0 {
+		t.Fatalf("underflow bucket bound must be 0")
+	}
+}
+
+// TestHistogramMergeExact: merging shard-local histograms must equal the
+// histogram that observed the union stream — the property the per-tenant
+// FCT aggregation relies on.
+func TestHistogramMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	whole := &Histogram{}
+	parts := []*Histogram{{}, {}, {}}
+	for i := 0; i < 5000; i++ {
+		// Integer values keep every partial sum exact, so summary
+		// equality below is independent of addition order.
+		v := float64(rng.Intn(1<<20) + 1)
+		whole.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	merged := &Histogram{}
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged summary differs: %d/%g vs %d/%g",
+			merged.Count(), merged.Sum(), whole.Count(), whole.Sum())
+	}
+	if merged.counts != whole.counts {
+		t.Fatalf("merged bucket counts differ from whole-stream histogram")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0, 1, 0},
+		{1, 1000, 0},
+		{0.5, 500, 0.10},
+		{0.99, 990, 0.10},
+	} {
+		got := h.Quantile(tc.q)
+		if tc.tol == 0 {
+			if got != tc.want {
+				t.Fatalf("q%g = %g, want exactly %g", tc.q, got, tc.want)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want)/tc.want > tc.tol {
+			t.Fatalf("q%g = %g, want %g within %g%%", tc.q, got, tc.want, tc.tol*100)
+		}
+	}
+}
+
+// TestHistogramSnapshotJSON locks the snapshot section's shape and its
+// determinism across instrument-creation orders.
+func TestHistogramSnapshotJSON(t *testing.T) {
+	build := func(flip bool) string {
+		r := New()
+		names := []string{"fct.vf1-a-b.us", "fct.vf2-c-d.us"}
+		if flip {
+			names[0], names[1] = names[1], names[0]
+		}
+		for _, n := range names {
+			h := r.Histogram(n)
+			h.Observe(1)
+			h.Observe(2.5)
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := build(false), build(true)
+	if a != b {
+		t.Fatalf("histogram snapshot differs by creation order:\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Contains([]byte(a), []byte(`"histograms": [`)) ||
+		!bytes.Contains([]byte(a), []byte(`"name": "fct.vf1-a-b.us", "count": 2, "sum": 3.5, "min": 1, "max": 2.5`)) {
+		t.Fatalf("unexpected histogram snapshot JSON:\n%s", a)
+	}
+}

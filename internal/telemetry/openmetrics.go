@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WriteOpenMetrics renders the snapshot as OpenMetrics text (the format
+// Prometheus scrapes). The dotted instrument scheme maps onto metric
+// families by splitting each name at its last dot: the final segment
+// becomes the family name (sanitized, prefixed "ufab_") and the leading
+// segments become an `entity` label — so `ufabe.h3.migrations` and
+// `ufabe.h7.migrations` are two samples of one `ufab_migrations` family
+// rather than an explosion of per-instance families. Counters expose
+// `_total` samples, histograms expose cumulative `le` buckets plus
+// `_sum`/`_count`, and series are omitted (their rings are trace data, not
+// scrape data). Families are emitted in sorted order and samples in
+// snapshot (name-sorted) order, so the rendering is deterministic.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	type sample struct {
+		entity string
+		value  float64
+		hist   *HistogramValue
+	}
+	families := map[string]*struct {
+		typ     string
+		samples []sample
+	}{}
+	add := func(name, typ string, sm sample) {
+		fam := "ufab_" + sanitizeMetricName(metricSuffix(name))
+		f := families[fam]
+		if f == nil {
+			f = &struct {
+				typ     string
+				samples []sample
+			}{typ: typ}
+			families[fam] = f
+		}
+		sm.entity = entityPrefix(name)
+		f.samples = append(f.samples, sm)
+	}
+	for _, c := range s.Counters {
+		add(c.Name, "counter", sample{value: float64(c.Value)})
+	}
+	for _, g := range s.Gauges {
+		add(g.Name, "gauge", sample{value: g.Value})
+	}
+	for i := range s.Histograms {
+		h := &s.Histograms[i]
+		add(h.Name, "histogram", sample{hist: h})
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		f := families[fam]
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, sm := range f.samples {
+			switch f.typ {
+			case "counter":
+				writeOMSample(bw, fam+"_total", sm.entity, "", sm.value)
+			case "gauge":
+				writeOMSample(bw, fam, sm.entity, "", sm.value)
+			case "histogram":
+				h := sm.hist
+				var cum uint64
+				sawInf := false
+				for _, b := range h.Buckets {
+					cum += b.Count
+					if math.IsInf(b.UpperBound, 1) {
+						sawInf = true
+					}
+					writeOMSample(bw, fam+"_bucket", sm.entity, formatOMFloat(b.UpperBound), float64(cum))
+				}
+				if !sawInf {
+					writeOMSample(bw, fam+"_bucket", sm.entity, "+Inf", float64(h.Count))
+				}
+				writeOMSample(bw, fam+"_sum", sm.entity, "", h.Sum)
+				writeOMSample(bw, fam+"_count", sm.entity, "", float64(h.Count))
+			}
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// metricSuffix returns the final dotted segment of name — the metric.
+func metricSuffix(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// entityPrefix returns everything before the final dot — the entity label
+// value ("" for undotted names, which checkName forbids anyway).
+func entityPrefix(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return ""
+}
+
+// sanitizeMetricName maps a dotted-name segment into the OpenMetrics
+// name alphabet [a-zA-Z0-9_] (the "ufab_" prefix supplies a valid first
+// character).
+func sanitizeMetricName(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// writeOMSample writes one exposition line: name{entity="...",le="..."} v.
+func writeOMSample(bw *bufio.Writer, name, entity, le string, v float64) {
+	bw.WriteString(name)
+	if entity != "" || le != "" {
+		bw.WriteByte('{')
+		if entity != "" {
+			bw.WriteString(`entity="`)
+			writeOMLabelValue(bw, entity)
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if entity != "" {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatOMFloat(v))
+	bw.WriteByte('\n')
+}
+
+// writeOMLabelValue escapes backslash, quote and newline per the spec.
+func writeOMLabelValue(bw *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '"':
+			bw.WriteString(`\"`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+}
+
+// formatOMFloat renders v for exposition: shortest round-trip form, with
+// the spec's spellings for the non-finite values.
+func formatOMFloat(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// omSample is one parsed exposition line.
+type omSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseOpenMetrics is a small vendored OpenMetrics text parser used only
+// by tests: it validates the structural rules the exposition relies on
+// (TYPE before samples, metric-name alphabet, label syntax, `# EOF`
+// terminator) and returns the samples. It is intentionally strict — any
+// line it does not understand is an error.
+func parseOpenMetrics(text string) (types map[string]string, samples []omSample, err error) {
+	types = map[string]string{}
+	lines := strings.Split(text, "\n")
+	if len(lines) < 2 || lines[len(lines)-1] != "" || lines[len(lines)-2] != "# EOF" {
+		return nil, nil, fmt.Errorf("exposition must end with %q and a newline", "# EOF")
+	}
+	validName := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for n, line := range lines[:len(lines)-2] {
+		if line == "" {
+			return nil, nil, fmt.Errorf("line %d: empty line before EOF", n+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[0] != "#" || (fields[1] != "TYPE" && fields[1] != "HELP" && fields[1] != "UNIT") {
+				return nil, nil, fmt.Errorf("line %d: malformed comment %q", n+1, line)
+			}
+			if fields[1] == "TYPE" {
+				if !validName(fields[2]) {
+					return nil, nil, fmt.Errorf("line %d: bad family name %q", n+1, fields[2])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return nil, nil, fmt.Errorf("line %d: duplicate TYPE for %q", n+1, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		rest := line
+		name := rest
+		var labels map[string]string
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name = rest[:i]
+			end := strings.IndexByte(rest, '}')
+			if end < i {
+				return nil, nil, fmt.Errorf("line %d: unterminated label set", n+1)
+			}
+			labels = map[string]string{}
+			for _, pair := range strings.Split(rest[i+1:end], ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					return nil, nil, fmt.Errorf("line %d: bad label %q", n+1, pair)
+				}
+				k, quoted := pair[:eq], pair[eq+1:]
+				v, uerr := strconv.Unquote(quoted)
+				if !validName(k) || uerr != nil {
+					return nil, nil, fmt.Errorf("line %d: bad label %q", n+1, pair)
+				}
+				labels[k] = v
+			}
+			rest = rest[end+1:]
+		} else {
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				return nil, nil, fmt.Errorf("line %d: no value on %q", n+1, line)
+			}
+			name, rest = rest[:sp], rest[sp:]
+		}
+		if !validName(name) {
+			return nil, nil, fmt.Errorf("line %d: bad metric name %q", n+1, name)
+		}
+		if !strings.HasPrefix(rest, " ") {
+			return nil, nil, fmt.Errorf("line %d: missing space before value", n+1)
+		}
+		v, perr := strconv.ParseFloat(strings.TrimPrefix(rest, " "), 64)
+		if perr != nil && !strings.Contains(rest, "Inf") && !strings.Contains(rest, "NaN") {
+			return nil, nil, fmt.Errorf("line %d: bad value %q", n+1, rest)
+		}
+		// Samples must belong to a family declared above.
+		fam := name
+		for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name {
+				if _, ok := types[base]; ok {
+					fam = base
+					break
+				}
+			}
+		}
+		typ, ok := types[fam]
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: sample %q has no TYPE", n+1, name)
+		}
+		switch typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				return nil, nil, fmt.Errorf("line %d: counter sample %q must end _total", n+1, name)
+			}
+		case "histogram":
+			if name == fam {
+				return nil, nil, fmt.Errorf("line %d: bare histogram sample %q", n+1, name)
+			}
+			if strings.HasSuffix(name, "_bucket") && labels["le"] == "" {
+				return nil, nil, fmt.Errorf("line %d: bucket sample without le", n+1)
+			}
+		}
+		samples = append(samples, omSample{name: name, labels: labels, value: v})
+	}
+	return types, samples, nil
+}
+
+// TestOpenMetricsRoundTrip renders a populated snapshot and re-parses it
+// with the vendored parser, checking families, label routing, histogram
+// bucket cumulativeness and the +Inf terminal bucket.
+func TestOpenMetricsRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("link.core1-agg2.drops").Add(7)
+	r.Counter("link.agg2-tor1.drops").Add(3)
+	r.Gauge("sim.shard0.ring_occupancy").Set(12)
+	h := r.Histogram("ufabe.h3.probe_rtt_us")
+	for _, v := range []float64{1, 2, 4, 8, 1e300} { // 1e300 exercises overflow bucket
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples, err := parseOpenMetrics(buf.String())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if types["ufab_drops"] != "counter" || types["ufab_ring_occupancy"] != "gauge" || types["ufab_probe_rtt_us"] != "histogram" {
+		t.Fatalf("families = %v", types)
+	}
+	var drops, buckets int
+	var lastCum, infCum float64
+	for _, s := range samples {
+		switch s.name {
+		case "ufab_drops_total":
+			drops++
+			if s.labels["entity"] != "link.core1-agg2" && s.labels["entity"] != "link.agg2-tor1" {
+				t.Fatalf("unexpected entity %q", s.labels["entity"])
+			}
+		case "ufab_probe_rtt_us_bucket":
+			buckets++
+			if s.value < lastCum {
+				t.Fatalf("bucket counts not cumulative: %g after %g", s.value, lastCum)
+			}
+			lastCum = s.value
+			if s.labels["le"] == "+Inf" {
+				infCum = s.value
+			}
+		case "ufab_probe_rtt_us_count":
+			if s.value != 5 {
+				t.Fatalf("histogram count = %g, want 5", s.value)
+			}
+		}
+	}
+	if drops != 2 {
+		t.Fatalf("want 2 drop samples, got %d", drops)
+	}
+	if buckets == 0 || infCum != 5 {
+		t.Fatalf("want a +Inf bucket with cumulative 5, got %d buckets, inf=%g", buckets, infCum)
+	}
+}
+
+// TestOpenMetricsEmpty: an empty snapshot is still a valid exposition.
+func TestOpenMetricsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Snapshot{}).WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Fatalf("empty exposition = %q", buf.String())
+	}
+	if _, _, err := parseOpenMetrics(buf.String()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestPerfettoExportValidates decodes the export as JSON and checks every
+// record carries the trace-event format's required keys, async begin/end
+// pairs share an id, and the export is byte-identical regardless of which
+// shard ring each event came from.
+func TestPerfettoExportValidates(t *testing.T) {
+	build := func(shardOrder []int) *Registry {
+		r := New()
+		r.EnableRecorder(64)
+		recs := r.EnableShardRecorders(2, 64)
+		trace := SpanID(3, 1, 9)
+		evs := []Event{
+			{T: 1000, Kind: EvProbeTX, Entity: "ufabe.h0", A: 3, B: 1, Note: "probe", Trace: trace, Span: SpanID(1)},
+			{T: 2500, Kind: EvWindow, Entity: "ufabe.h0", A: 3, B: 4096, V: 1e9, Trace: trace, Span: SpanID(2)},
+			{T: 3000, Kind: EvProbeRX, Entity: "ufabe.h0", A: 3, B: 1, V: 2, Trace: trace, Span: SpanID(3)},
+			{T: 1500, Kind: EvDrop, Entity: "link.a-b", B: 9000, Note: "overflow"},
+		}
+		for i, ev := range evs {
+			recs[shardOrder[i%2]].Record(ev)
+		}
+		r.Recorder().Record(Event{T: 500, Kind: EvFault, Entity: "chaos.injector", A: 1, Note: "node_down"})
+		return r
+	}
+
+	var a, b bytes.Buffer
+	if err := build([]int{0, 1}).WritePerfettoJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]int{1, 0}).WritePerfettoJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("perfetto export depends on shard placement:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, a.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	begins, ends := map[string]int{}, map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing required key %q: %v", key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		if ph == "b" || ph == "e" || ph == "n" {
+			id, ok := ev["id"].(string)
+			if !ok || id == "" {
+				t.Fatalf("async event missing id: %v", ev)
+			}
+			if _, ok := ev["cat"]; !ok {
+				t.Fatalf("async event missing cat: %v", ev)
+			}
+			switch ph {
+			case "b":
+				begins[id]++
+			case "e":
+				ends[id]++
+			}
+		}
+	}
+	if len(begins) != 1 {
+		t.Fatalf("want one async begin id, got %v", begins)
+	}
+	for id, n := range begins {
+		if ends[id] != n {
+			t.Fatalf("async id %s has %d begins, %d ends", id, n, ends[id])
+		}
+	}
+}
+
+// TestPerfettoNilAndEmpty: nil registry and no-recorder registry export
+// nothing without error.
+func TestPerfettoNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	var r *Registry
+	if err := r.WritePerfettoJSON(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v len=%d", err, buf.Len())
+	}
+	if err := New().WritePerfettoJSON(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("recorder-less registry: err=%v len=%d", err, buf.Len())
+	}
+}

@@ -38,8 +38,11 @@ const (
 	// EvDrop: the dataplane dropped a packet (A = packet kind, B = queue
 	// bytes, Note = "overflow"/"fault"/"failed"/"noroute").
 	EvDrop
-	// EvFault: a chaos fault event was injected (Note = event kind, A = 1
-	// when applied, 0 when rejected).
+	// EvFault: a fault transition. From the chaos injector (Entity
+	// "chaos.injector"): Note = event kind, A = 1 when applied, 0 when
+	// rejected. From the dataplane (Entity "dataplane.node"): A = node id,
+	// B = 1 down / 0 recovered, Note = "fail"/"recover" — the stream the
+	// ctlplane reconciler subscribes to for node health.
 	EvFault
 	// EvTenant: a tenant arrived or departed (A = VF id, Note =
 	// "arrive"/"depart").
@@ -87,6 +90,47 @@ type Event struct {
 	V float64
 	// Note is a short constant tag ("urgent", "overflow", ...).
 	Note string
+	// Trace groups causally related events (one probe round trip, one
+	// admission decision, one migration) into a trace. Span distinguishes
+	// steps within the trace. Both are pure functions of scheduling
+	// context (SpanID over pair/sequence scalars — never wall clock or
+	// worker identity), so traces are byte-identical across -jobs and
+	// -shards. Zero means "not part of a trace" and is omitted from JSON.
+	Trace, Span uint64
+}
+
+// Trace-id domains: the first argument to SpanID namespaces the trace so
+// a probe round trip, a migration, and an admission decision over the same
+// scalar ids never collide. Shared here so every layer (ufabe edges, ufabc
+// core hops, the placement controller) derives identical ids.
+const (
+	TraceProbe     int64 = 1
+	TraceMigration int64 = 2
+	TraceAdmission int64 = 3
+)
+
+// SpanID derives a deterministic 64-bit trace or span identifier from
+// scheduling-context scalars via FNV-1a. Call sites pass stable inputs
+// (pair id, path index, probe sequence, request id) so the id — and with
+// it the exported trace — is independent of worker count and shard layout.
+func SpanID(parts ...int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		v := uint64(p)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	if h == 0 { // 0 is the "no trace" sentinel
+		h = offset64
+	}
+	return h
 }
 
 // DefaultRecorderCap bounds the flight recorder's ring buffer (64k events
@@ -223,7 +267,13 @@ func EventBefore(a, b Event) bool {
 	if a.V != b.V {
 		return a.V < b.V
 	}
-	return a.Note < b.Note
+	if a.Note != b.Note {
+		return a.Note < b.Note
+	}
+	if a.Trace != b.Trace {
+		return a.Trace < b.Trace
+	}
+	return a.Span < b.Span
 }
 
 // SortEventsCanonical stable-sorts events into the EventBefore order.
@@ -328,6 +378,14 @@ func WriteEventJSON(bw *bufio.Writer, ev Event) {
 	if ev.Note != "" {
 		bw.WriteString(`,"note":`)
 		bw.WriteString(strconv.Quote(ev.Note))
+	}
+	if ev.Trace != 0 {
+		bw.WriteString(`,"trace":`)
+		bw.WriteString(strconv.FormatUint(ev.Trace, 10))
+	}
+	if ev.Span != 0 {
+		bw.WriteString(`,"span":`)
+		bw.WriteString(strconv.FormatUint(ev.Span, 10))
 	}
 	bw.WriteByte('}')
 }

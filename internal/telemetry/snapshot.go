@@ -9,9 +9,10 @@ import (
 // Snapshot is a point-in-time copy of every instrument in a registry, with
 // all names in ascending order so serialization is deterministic.
 type Snapshot struct {
-	Counters []CounterValue `json:"counters,omitempty"`
-	Gauges   []GaugeValue   `json:"gauges,omitempty"`
-	Series   []SeriesValue  `json:"series,omitempty"`
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+	Series     []SeriesValue    `json:"series,omitempty"`
 }
 
 // CounterValue is one counter in a snapshot.
@@ -24,6 +25,17 @@ type CounterValue struct {
 type GaugeValue struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot: summary statistics plus
+// the non-zero buckets sparsely (per-bucket counts, not cumulative).
+type HistogramValue struct {
+	Name    string            `json:"name"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Buckets []HistogramBucket `json:"buckets"`
 }
 
 // SeriesValue is one time series in a snapshot. Total counts points ever
@@ -48,6 +60,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, name := range sortedKeys(r.gauges) {
 		snap.Gauges = append(snap.Gauges, GaugeValue{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		snap.Histograms = append(snap.Histograms, HistogramValue{
+			Name: name, Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			Buckets: h.Buckets(),
+		})
 	}
 	for _, name := range sortedKeys(r.series) {
 		s := r.series[name]
@@ -145,6 +164,37 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 		bw.WriteByte('}')
 	}
 	if len(s.Gauges) > 0 {
+		bw.WriteString("\n  ")
+	}
+	bw.WriteString("],\n  \"histograms\": [")
+	for i, h := range s.Histograms {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n    {\"name\": ")
+		bw.WriteString(strconv.Quote(h.Name))
+		bw.WriteString(", \"count\": ")
+		bw.WriteString(strconv.FormatUint(h.Count, 10))
+		bw.WriteString(", \"sum\": ")
+		bw.WriteString(formatFloat(h.Sum))
+		bw.WriteString(", \"min\": ")
+		bw.WriteString(formatFloat(h.Min))
+		bw.WriteString(", \"max\": ")
+		bw.WriteString(formatFloat(h.Max))
+		bw.WriteString(", \"buckets\": [")
+		for j, b := range h.Buckets {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString("[")
+			bw.WriteString(formatFloat(b.UpperBound))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatUint(b.Count, 10))
+			bw.WriteByte(']')
+		}
+		bw.WriteString("]}")
+	}
+	if len(s.Histograms) > 0 {
 		bw.WriteString("\n  ")
 	}
 	bw.WriteString("],\n  \"series\": [")

@@ -159,11 +159,12 @@ func (s *Series) Points() []Point {
 // call New. A nil *Registry is the "telemetry disabled" sentinel: all its
 // methods return nil instruments whose operations are free no-ops.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	series   map[string]*Series
-	rec      *Recorder
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	series     map[string]*Series
+	histograms map[string]*Histogram
+	rec        *Recorder
 	// shardRecs are the per-shard flight recorders of a sharded run:
 	// each simulation shard records into its own ring (single-goroutine,
 	// like the shard engine), and exports merge them canonically. Empty
@@ -181,6 +182,7 @@ func New() *Registry {
 		counters:    make(map[string]*Counter),
 		gauges:      make(map[string]*Gauge),
 		series:      make(map[string]*Series),
+		histograms:  make(map[string]*Histogram),
 		activeShard: -1,
 	}
 }

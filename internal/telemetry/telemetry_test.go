@@ -42,17 +42,23 @@ func TestNilRegistryAndInstruments(t *testing.T) {
 	c := r.Counter("a.b")
 	g := r.Gauge("a.b")
 	s := r.Series("a.b", 8)
+	h := r.Histogram("a.b")
 	rec := r.Recorder()
 	c.Inc()
 	c.Add(3)
 	g.Set(1)
 	g.SetMax(2)
 	s.Add(1, 2)
+	h.Observe(3.5)
+	h.Merge(&Histogram{})
 	rec.Record(Event{T: 1, Kind: EvDrop})
 	if c.Value() != 0 || g.Value() != 0 || s.Len() != 0 || rec.Len() != 0 {
 		t.Fatalf("nil instruments must stay empty")
 	}
-	if got := r.Snapshot(); len(got.Counters)+len(got.Gauges)+len(got.Series) != 0 {
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Buckets() != nil || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram must stay empty")
+	}
+	if got := r.Snapshot(); len(got.Counters)+len(got.Gauges)+len(got.Histograms)+len(got.Series) != 0 {
 		t.Fatalf("nil registry snapshot must be empty")
 	}
 	if r.EnableRecorder(16) != nil {

@@ -232,18 +232,21 @@ func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Ti
 	a.cProbes.Inc()
 	ls := a.link(out.Link.ID)
 	key := pairKey(p)
+	// The probe's wire identity (pair, path, seq) reproduces the edge's
+	// trace id, so per-hop register updates join the probe's causal trace.
+	trace := telemetry.SpanID(telemetry.TraceProbe, int64(p.VMPair), int64(p.PathID), int64(p.Seq))
 	switch p.Kind {
 	case probe.KindProbe:
 		phiMilli := uint32(p.Phi*1000 + 0.5)
 		dPhi, dW, _ := ls.update(key, phiMilli, p.Window, int64(now))
 		ls.phiMilli += dPhi
 		ls.windowBytes += dW
-		a.recordChurn(dPhi, dW, now, "update")
+		a.recordChurn(dPhi, dW, now, "update", trace)
 	case probe.KindFinish:
 		dPhi, dW, _ := ls.remove(key)
 		ls.phiMilli += dPhi
 		ls.windowBytes += dW
-		a.recordChurn(dPhi, dW, now, "remove")
+		a.recordChurn(dPhi, dW, now, "remove", trace)
 	default:
 		return
 	}
@@ -270,7 +273,7 @@ func (a *Agent) OnForward(pkt *dataplane.Packet, out *dataplane.Port, now sim.Ti
 // recordChurn accounts a register delta in the churn counters and the
 // flight recorder. A no-op when telemetry is unattached or the probe left
 // the registers untouched (the steady-state re-registration case).
-func (a *Agent) recordChurn(dPhi, dW int64, now sim.Time, note string) {
+func (a *Agent) recordChurn(dPhi, dW int64, now sim.Time, note string, trace uint64) {
 	if a.cPhiChurn == nil || (dPhi == 0 && dW == 0) {
 		return
 	}
@@ -278,7 +281,7 @@ func (a *Agent) recordChurn(dPhi, dW int64, now sim.Time, note string) {
 	a.cWChurn.Add(abs64(dW))
 	if a.rec != nil {
 		a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvRegister,
-			Entity: a.entity, A: dPhi, B: dW, Note: note})
+			Entity: a.entity, A: dPhi, B: dW, Note: note, Trace: trace, Span: 2})
 	}
 }
 

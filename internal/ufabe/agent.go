@@ -196,6 +196,7 @@ type Agent struct {
 	cFrSupp                           *telemetry.Counter
 	baseProbes, baseProbeB, baseDataB int64
 	baseMigr, baseFrArmed, baseFrSupp int64
+	hRTT                              *telemetry.Histogram
 	rec                               *telemetry.Recorder
 
 	tokenLoopStop func()
@@ -222,6 +223,7 @@ func (a *Agent) AttachTelemetry(reg *telemetry.Registry, instance string) {
 	a.baseMigr = a.cMigr.Value()
 	a.baseFrArmed = a.cFrArmed.Value()
 	a.baseFrSupp = a.cFrSupp.Value()
+	a.hRTT = reg.Histogram(a.entity + ".probe_rtt_us")
 	a.rec = reg.Recorder()
 }
 
@@ -565,7 +567,8 @@ func (a *Agent) sendProbe(p *Pair, pathIdx int, kind probe.Kind) {
 			note = "finish"
 		}
 		a.rec.Record(telemetry.Event{T: int64(a.eng.Now()), Kind: telemetry.EvProbeTX,
-			Entity: a.entity, A: int64(p.ID), B: int64(pathIdx), Note: note})
+			Entity: a.entity, A: int64(p.ID), B: int64(pathIdx), Note: note,
+			Trace: telemetry.SpanID(telemetry.TraceProbe, int64(p.ID), int64(ps.id), int64(seq)), Span: 1})
 	}
 	// Probe-loss detection (§4.1): timeout at n·baseRTT, stretched by
 	// the smoothed measured RTT when standing queues dominate.
@@ -763,10 +766,13 @@ func (a *Agent) handleResponse(pkt *dataplane.Packet) {
 	}
 	ps.lastRespAt = now
 	ps.lostProbes = 0
+	rttUS := (now - sim.Time(resp.SentAt)).Micros()
+	a.hRTT.Observe(rttUS)
 	if a.rec != nil {
 		a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvProbeRX,
 			Entity: a.entity, A: int64(p.ID), B: int64(resp.PathID),
-			V: (now - sim.Time(resp.SentAt)).Micros()})
+			V:     rttUS,
+			Trace: telemetry.SpanID(telemetry.TraceProbe, int64(p.ID), int64(resp.PathID), int64(resp.Seq)), Span: 3})
 	}
 	if rtt := now - sim.Time(resp.SentAt); rtt > 0 {
 		if ps.srtt == 0 {
@@ -1002,13 +1008,15 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 	p.active = to
 	p.Migrations++
 	a.cMigr.Inc()
+	migTrace := telemetry.SpanID(telemetry.TraceMigration, int64(p.ID), int64(p.Migrations))
 	if a.rec != nil {
 		note := "planned"
 		if urgent {
 			note = "urgent"
 		}
 		a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvMigration,
-			Entity: a.entity, A: int64(p.ID), B: int64(to), Note: note})
+			Entity: a.entity, A: int64(p.ID), B: int64(to), Note: note,
+			Trace: migTrace, Span: 1})
 	}
 	p.violationStreak = 0
 	p.lastViolationAt = now
@@ -1026,7 +1034,8 @@ func (a *Agent) migrate(p *Pair, to int, urgent bool) {
 		a.cFrArmed.Inc()
 		if a.rec != nil {
 			a.rec.Record(telemetry.Event{T: int64(now), Kind: telemetry.EvFreeze,
-				Entity: a.entity, A: int64(p.ID), B: int64(n), Note: "armed"})
+				Entity: a.entity, A: int64(p.ID), B: int64(n), Note: "armed",
+				Trace: migTrace, Span: 2})
 		}
 	}
 	a.scheduleSend()

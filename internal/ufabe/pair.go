@@ -251,7 +251,8 @@ func (p *Pair) computeFromResponse(ps *pathState, resp *probe.Packet) {
 	ps.lastResp = resp
 	if a := p.agent; a.rec != nil {
 		a.rec.Record(telemetry.Event{T: int64(a.eng.Now()), Kind: telemetry.EvWindow,
-			Entity: a.entity, A: int64(p.ID), B: ps.window, V: ps.share})
+			Entity: a.entity, A: int64(p.ID), B: ps.window, V: ps.share,
+			Trace: telemetry.SpanID(telemetry.TraceProbe, int64(p.ID), int64(ps.id), int64(resp.Seq)), Span: 4})
 	}
 }
 

@@ -158,6 +158,23 @@ func (m *Messages) complete(i int, now sim.Time) {
 	}
 }
 
+// Observe adds fn to the completion callbacks, composing with (running
+// after) any previously registered OnComplete instead of replacing it —
+// instrumentation and experiment accounting can both watch completions.
+func (m *Messages) Observe(fn func(msg Message, fct sim.Duration)) {
+	if fn == nil {
+		return
+	}
+	if prev := m.OnComplete; prev != nil {
+		m.OnComplete = func(msg Message, fct sim.Duration) {
+			prev(msg, fct)
+			fn(msg, fct)
+		}
+		return
+	}
+	m.OnComplete = fn
+}
+
 // FixedRate feeds a buffer at a constant rate in byte chunks, emulating an
 // application with a bounded demand. Stop the feeder with the returned
 // function.
